@@ -1,0 +1,47 @@
+// Command tfbench regenerates the experiment tables (E1–E8; see
+// EXPERIMENTS.md). With arguments, it runs only the named experiments.
+//
+//	tfbench            # all experiments
+//	tfbench e1 e4      # selected experiments
+//	tfbench -repeats 5 e2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tagfree/internal/experiments"
+)
+
+func main() {
+	repeats := flag.Int("repeats", 3, "timing repetitions (best-of)")
+	flag.Parse()
+
+	runners := map[string]func() *experiments.Table{
+		"e1": experiments.E1HeapSpace,
+		"e2": func() *experiments.Table { return experiments.E2MutatorTags(*repeats) },
+		"e3": experiments.E3Liveness,
+		"e4": func() *experiments.Table { return experiments.E4SpaceTime(*repeats) },
+		"e5": experiments.E5GCWordElision,
+		"e6": experiments.E6PolyWalk,
+		"e7": experiments.E7Tasking,
+		"e8": experiments.E8RuntimeReps,
+		"e9": func() *experiments.Table { return experiments.E9MarkSweep(*repeats) },
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+
+	selected := flag.Args()
+	if len(selected) == 0 {
+		selected = order
+	}
+	for _, name := range selected {
+		r, ok := runners[strings.ToLower(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s)\n", name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		fmt.Println(r().Render())
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"tagfree/internal/pipeline"
+)
+
+// repl is an interactive read-eval-print loop: declarations accumulate,
+// expressions evaluate immediately (each evaluation compiles the
+// accumulated program plus a synthesized main and runs it from scratch —
+// the simulator is fast enough that this is instantaneous).
+func repl(in io.Reader, out io.Writer, opts pipeline.Options) {
+	fmt.Fprintln(out, "MinML REPL — tag-free GC simulator")
+	fmt.Fprintln(out, "declarations accumulate; expressions evaluate; :help for commands")
+
+	var decls []string
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+
+	prompt := func() { fmt.Fprint(out, "minml> ") }
+	prompt()
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case line == ":quit" || line == ":q":
+			return
+		case line == ":help":
+			fmt.Fprintln(out, `  <expr>          evaluate an expression
+  let ... / type ...   add a declaration
+  :type <expr>    show an expression's type
+  :list           show accumulated declarations
+  :reset          drop all declarations
+  :quit           leave`)
+		case line == ":reset":
+			decls = nil
+			fmt.Fprintln(out, "cleared")
+		case line == ":list":
+			for _, d := range decls {
+				fmt.Fprintln(out, d)
+			}
+		case strings.HasPrefix(line, ":type "):
+			expr := strings.TrimPrefix(line, ":type ")
+			src := strings.Join(decls, "\n") + "\nlet main () = " + expr + "\n"
+			if res, err := pipeline.Eval(src, withSteps(opts)); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintf(out, "- : %s\n", res.Type)
+			}
+		case strings.HasPrefix(line, "let ") || strings.HasPrefix(line, "type ") ||
+			strings.HasPrefix(line, "let\t"):
+			// Tentatively add the declaration; validate by type checking
+			// the accumulated program (no main needed for checking).
+			candidate := append(append([]string{}, decls...), line)
+			src := strings.Join(candidate, "\n") + "\n"
+			if _, _, err := pipeline.Frontend(src); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			if ws, err := pipeline.Warnings(src); err == nil {
+				for _, w := range ws {
+					fmt.Fprintln(out, w)
+				}
+			}
+			decls = candidate
+			fmt.Fprintln(out, "ok")
+		default:
+			src := strings.Join(decls, "\n") + "\nlet main () = " + line + "\n"
+			res, err := pipeline.Eval(src, withSteps(opts))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			if res.Result.Output != "" {
+				fmt.Fprint(out, res.Result.Output)
+				if !strings.HasSuffix(res.Result.Output, "\n") {
+					fmt.Fprintln(out)
+				}
+			}
+			fmt.Fprintf(out, "- : %s = %s\n", res.Type, res.Value)
+		}
+		prompt()
+	}
+}
+
+func withSteps(opts pipeline.Options) pipeline.Options {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 200_000_000
+	}
+	return opts
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/pipeline"
+)
+
+func runREPL(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	repl(strings.NewReader(script), &out, pipeline.Options{
+		Strategy:  gc.StratCompiled,
+		HeapWords: 4096,
+	})
+	return out.String()
+}
+
+func TestREPLEvaluatesExpressions(t *testing.T) {
+	out := runREPL(t, "1 + 2\n:quit\n")
+	if !strings.Contains(out, "- : int = 3") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestREPLAccumulatesDeclarations(t *testing.T) {
+	out := runREPL(t, `let double x = x * 2
+double 21
+:quit
+`)
+	if !strings.Contains(out, "- : int = 42") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestREPLRejectsBadDeclarationWithoutPoisoning(t *testing.T) {
+	out := runREPL(t, `let bad = 1 + true
+let good = 10
+good
+:quit
+`)
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("bad declaration not reported: %s", out)
+	}
+	if !strings.Contains(out, "- : int = 10") {
+		t.Fatalf("session poisoned by rejected declaration: %s", out)
+	}
+}
+
+func TestREPLTypeCommand(t *testing.T) {
+	out := runREPL(t, ":type fun x -> (x, x)\n:quit\n")
+	if !strings.Contains(out, "- : 'a -> 'a * 'a") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestREPLReset(t *testing.T) {
+	out := runREPL(t, `let x = 5
+:reset
+x
+:quit
+`)
+	if !strings.Contains(out, "unbound variable x") {
+		t.Fatalf("reset did not clear declarations: %s", out)
+	}
+}
+
+func TestREPLPrintsProgramOutput(t *testing.T) {
+	out := runREPL(t, "print_string \"side\"; 0\n:quit\n")
+	if !strings.Contains(out, "side") {
+		t.Fatalf("program output missing: %s", out)
+	}
+}
+
+func TestREPLWarnsOnInexhaustiveDecl(t *testing.T) {
+	out := runREPL(t, "let head xs = match xs with | x :: _ -> x\n:quit\n")
+	if !strings.Contains(out, "not exhaustive") {
+		t.Fatalf("warning missing: %s", out)
+	}
+}

@@ -1,0 +1,94 @@
+// Analyses demo: the compile-time program analyses of §5 at work.
+//
+// For one program it shows (1) which call sites the GC-possible fixpoint
+// proves collection-free — their gc_words vanish; (2) which closure-call
+// sites the higher-order 0-CFA refinement additionally elides; (3) the
+// per-site live maps the §5.2 liveness analysis produces, including the
+// empty no_trace maps the paper highlights for append.
+//
+//	go run ./examples/analyses
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/pipeline"
+)
+
+const program = `
+(* pure: arithmetic only — every call to it is collection-free *)
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* allocating: builds lists *)
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+
+(* higher-order: apply reaches only the pure lambda below *)
+let apply f x = f x
+
+let round () = sum (upto 20)
+let rec churn n acc = if n = 0 then acc else churn (n - 1) (acc + round ())
+
+let main () =
+  let g = gcd 1071 462 in
+  let pure_hof = apply (fun y -> y * y) g in
+  let dead = upto 30 in          (* dead after this sum *)
+  let s1 = sum dead in
+  let live = upto 10 in          (* live across the next call *)
+  let s2 = churn 20 0 + sum live in
+  g + pure_hof + s1 + s2
+`
+
+func main() {
+	fmt.Println("compile-time analyses for tag-free GC (paper §5)")
+	fmt.Println("=================================================")
+
+	base, baseAnal, err := pipeline.Build(program, pipeline.Options{Strategy: gc.StratCompiled})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, cfaAnal, err := pipeline.Build(program, pipeline.Options{Strategy: gc.StratCompiled, UseCFA: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nGC-possible analysis (§5.1):\n")
+	fmt.Printf("  call/alloc sites          %d\n", baseAnal.Stats.Sites)
+	fmt.Printf("  direct call sites         %d\n", baseAnal.Stats.DirectCallSites)
+	fmt.Printf("  gc_words elided           %d (calls that can never collect: gcd, sum, ...)\n",
+		baseAnal.Stats.ElidedSites)
+	fmt.Printf("  closure-call sites        %d\n", cfaAnal.Stats.ClosCallSites)
+	fmt.Printf("  elided by 0-CFA           %d (apply's lambda is pure)\n",
+		cfaAnal.Stats.ElidedClosSites)
+
+	fmt.Printf("\nliveness analysis (§5.2) — frame maps of main:\n")
+	mainIdx := base.FuncByName("main")
+	for i, si := range base.Sites {
+		if si.Func != mainIdx {
+			continue
+		}
+		fmt.Printf("  gc_word %2d (kind %d): ", i, si.Kind)
+		if len(si.Live) == 0 {
+			fmt.Println("no_trace — nothing live")
+			continue
+		}
+		for _, e := range si.Live {
+			fmt.Printf("slot %d : %s  ", e.Slot, e.Desc)
+		}
+		fmt.Println()
+	}
+
+	res, err := pipeline.Run(program, pipeline.Options{
+		Strategy: gc.StratCompiled, HeapWords: 256, UseCFA: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexecution with the analyses applied: result %d, %d collections, %d slots traced\n",
+		res.Value, res.HeapStats.Collections, res.GCStats.SlotsTraced)
+	fmt.Println(`
+Note how 'dead' never appears in a frame map after its sum, while 'live'
+does — the §5.2 precision the paper calls "more accurate recognition of
+live data and garbage".`)
+}

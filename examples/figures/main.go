@@ -1,0 +1,79 @@
+// Figures demo: executable renditions of the paper's Figures 1 and 2.
+//
+// Figure 1 shows the stack/code organization: each call instruction is
+// followed by a gc_word holding the frame GC metadata for the caller, and
+// the return sequence skips over it. This demo disassembles a compiled
+// function so the embedded gc_words are visible, then prints the site
+// table entries they index — the frame maps the collector executes.
+//
+// Figure 2 is the collector's main loop: walk the dynamic chain, read each
+// frame's gc_word through the return address, run the frame routine. The
+// demo triggers a collection and reports the walk statistics.
+//
+//	go run ./examples/figures
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/pipeline"
+)
+
+const program = `
+let rec append xs ys =
+  match xs with
+  | [] -> ys
+  | x :: rest -> x :: append rest ys
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let main () = sum (append (upto 60) (upto 80))
+`
+
+func main() {
+	fmt.Println("Figure 1 — stack/code organization with embedded gc_words")
+	fmt.Println("==========================================================")
+	prog, anal, err := pipeline.Build(program, pipeline.Options{Strategy: gc.StratCompiled})
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx := prog.FuncByName("append")
+	fmt.Println(prog.DisasmFunc(idx))
+
+	fmt.Println("site table entries referenced by append's gc_words:")
+	for i, si := range prog.Sites {
+		if prog.Funcs[si.Func].Name != "append" {
+			continue
+		}
+		fmt.Printf("  gc_word=%d kind=%d live slots: ", i, si.Kind)
+		if len(si.Live) == 0 {
+			fmt.Print("(none — the paper's no_trace routine)")
+		}
+		for _, e := range si.Live {
+			fmt.Printf("slot %d : %s  ", e.Slot, e.Desc)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ngc_words elided by the §5.1 analysis: %d of %d direct call sites\n\n",
+		anal.Stats.ElidedSites, anal.Stats.DirectCallSites)
+
+	fmt.Println("Figure 2 — the collector main loop in action")
+	fmt.Println("============================================")
+	res, err := pipeline.Run(program, pipeline.Options{
+		Strategy:  gc.StratCompiled,
+		HeapWords: 300,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result        %d\n", res.Value)
+	fmt.Printf("collections   %d\n", res.HeapStats.Collections)
+	fmt.Printf("frames walked %d (dynamic-chain traversal, gc_word per frame)\n", res.GCStats.FramesTraced)
+	fmt.Printf("slots traced  %d (only live, initialized, pointer-bearing slots)\n", res.GCStats.SlotsTraced)
+	fmt.Printf("words copied  %d\n", res.HeapStats.WordsCopied)
+	fmt.Println(`
+Note the recursive append call's frame map above: nothing is live across
+it, reproducing the paper's observation that "garbage collection never
+needs to trace the elements of an append activation record" (§2.4).`)
+}

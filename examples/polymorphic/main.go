@@ -1,0 +1,75 @@
+// Polymorphic collection demo: the paper's §3 machinery at work.
+//
+// The program instantiates one polymorphic function at several types and
+// keeps deep polymorphic frames alive across a collection. The demo shows
+// the type_gc_routine statistics: how many distinct routines the collector
+// constructed (Figure 3's memoized trace_list_of closures) and how the
+// oldest→newest walk's work compares with Appel's per-frame chain re-walk.
+//
+//	go run ./examples/polymorphic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/pipeline"
+)
+
+const program = `
+(* The paper's §3 example, scaled up: f x = let y = [x; x] in (y, [3]).
+   Different calls instantiate 'a differently, so the frame GC routine of
+   f is parameterized by a type_gc_routine for x. *)
+let f x = let y = [x; x] in (y, [3])
+
+let rec map g xs = match xs with | [] -> [] | x :: r -> g x :: map g r
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let rec count xs = match xs with | [] -> 0 | _ :: r -> 1 + count r
+
+(* Deep polymorphic recursion: every frame holds an 'a value the
+   collector must trace via the type package passed from its caller. *)
+let probe x = (let _ = [x; x] in 1)
+let rec pdepth x acc n = if n = 0 then acc else probe x + pdepth x acc (n - 1)
+
+let main () =
+  let a = f true in
+  let b = f 7 in
+  let c = f (1, 2) in
+  let heads = map (fun p -> match p with (ys, zs) -> count ys + sum zs) [b] in
+  let deep = pdepth (f 9) 0 120 in
+  (match a with (ys, _) -> count ys)
+    + (match c with (_, zs) -> sum zs)
+    + sum heads + deep
+`
+
+func main() {
+	fmt.Println("polymorphic tag-free collection (paper §3)")
+	fmt.Println("==========================================")
+	for _, strat := range []gc.Strategy{gc.StratCompiled, gc.StratInterp, gc.StratAppel} {
+		res, err := pipeline.Run(program, pipeline.Options{
+			Strategy:  strat,
+			HeapWords: 400,
+			MaxSteps:  1 << 32,
+		})
+		if err != nil {
+			log.Fatalf("[%v] %v", strat, err)
+		}
+		fmt.Printf("\ncollector: %v\n", strat)
+		fmt.Printf("  result             %d\n", res.Value)
+		fmt.Printf("  collections        %d\n", res.HeapStats.Collections)
+		fmt.Printf("  frames traced      %d\n", res.GCStats.FramesTraced)
+		fmt.Printf("  type_gc built      %d (memoized, Figure 3)\n", res.GCStats.TypeGCBuilt)
+		if strat == gc.StratAppel {
+			fmt.Printf("  chain steps        %d (per-frame dynamic-chain walk)\n", res.GCStats.ChainSteps)
+		}
+		if strat == gc.StratInterp {
+			fmt.Printf("  descriptor bytes   %d decoded during collection\n", res.GCStats.DescBytesDecoded)
+		}
+	}
+	fmt.Println(`
+All three tag-free collectors reconstruct the types of every frame slot
+without tags: the compiled and interpreted modes pass type_gc_routines
+frame to frame in one oldest-to-newest walk; the Appel baseline re-walks
+the dynamic chain for every polymorphic frame (quadratic chain steps).`)
+}

@@ -1,0 +1,51 @@
+// Quickstart: compile and run a MinML program under the paper's compiled
+// tag-free collector, then compare the same program against the tagged
+// baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/pipeline"
+)
+
+const program = `
+(* A small ML program: build trees, sum them, repeat — enough allocation
+   to force several garbage collections in a 4 KiW semispace. *)
+type tree = Leaf | Node of tree * int * tree
+
+let rec build d = if d = 0 then Leaf else Node (build (d - 1), d, build (d - 1))
+let rec tsum t = match t with | Leaf -> 0 | Node (l, v, r) -> tsum l + v + tsum r
+
+let round () = tsum (build 8)
+let rec loop n acc = if n = 0 then acc else loop (n - 1) (acc + round ())
+let main () = loop 40 0
+`
+
+func main() {
+	fmt.Println("tag-free GC quickstart")
+	fmt.Println("======================")
+	for _, strat := range []gc.Strategy{gc.StratCompiled, gc.StratTagged} {
+		res, err := pipeline.Run(program, pipeline.Options{
+			Strategy:  strat,
+			HeapWords: 4096,
+		})
+		if err != nil {
+			log.Fatalf("[%v] %v", strat, err)
+		}
+		fmt.Printf("\ncollector: %v\n", strat)
+		fmt.Printf("  result          %d\n", res.Value)
+		fmt.Printf("  words allocated %d\n", res.HeapStats.WordsAllocated)
+		fmt.Printf("  collections     %d\n", res.HeapStats.Collections)
+		fmt.Printf("  words copied    %d\n", res.HeapStats.WordsCopied)
+		fmt.Printf("  gc metadata     %d words\n", res.MetadataWords)
+	}
+	fmt.Println(`
+The tag-free run allocates fewer words (tree nodes carry no header) and
+its collector traces frames through compiler-generated frame maps rather
+than per-word tag bits. Both compute the same result.`)
+}

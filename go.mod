@@ -1,0 +1,3 @@
+module tagfree
+
+go 1.22

@@ -1,0 +1,174 @@
+package code
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntEncodingRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		// Tag-free is the identity.
+		if DecodeInt(ReprTagFree, EncodeInt(ReprTagFree, v)) != v {
+			return false
+		}
+		// Tagged is exact within 63 bits.
+		v63 := v << 1 >> 1
+		return DecodeInt(ReprTagged, EncodeInt(ReprTagged, v63)) == v63
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaggedIntsAreOdd(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 42, -99, 1 << 40} {
+		if EncodeInt(ReprTagged, v)&1 != 1 {
+			t.Errorf("tagged int %d is not odd", v)
+		}
+	}
+}
+
+func TestPtrEncoding(t *testing.T) {
+	for _, addr := range []int{HeapBase, HeapBase + 1, HeapBase + 12345} {
+		for _, r := range []Repr{ReprTagFree, ReprTagged} {
+			w := EncodePtr(r, addr)
+			if DecodePtr(r, w) != addr {
+				t.Errorf("%v: ptr %d round-trip failed", r, addr)
+			}
+			if !IsBoxedValue(r, w) {
+				t.Errorf("%v: encoded pointer %d not recognized as boxed", r, addr)
+			}
+		}
+	}
+}
+
+func TestBoxedDiscrimination(t *testing.T) {
+	// Nullary constructor constants and null must never look boxed.
+	for _, r := range []Repr{ReprTagFree, ReprTagged} {
+		for tag := 0; tag < 300; tag++ {
+			if IsBoxedValue(r, EncodeNullCtor(r, tag)) {
+				t.Errorf("%v: nullary ctor %d looks boxed", r, tag)
+			}
+		}
+		if IsBoxedValue(r, 0) {
+			t.Errorf("%v: null looks boxed", r)
+		}
+	}
+	// Tagged pointers are even; tagged ints odd — never confusable.
+	f := func(v int64) bool {
+		return !IsBoxedValue(ReprTagged, EncodeInt(ReprTagged, v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolEncoding(t *testing.T) {
+	for _, r := range []Repr{ReprTagFree, ReprTagged} {
+		if !DecodeBool(r, EncodeBool(r, true)) || DecodeBool(r, EncodeBool(r, false)) {
+			t.Errorf("%v: bool round-trip failed", r)
+		}
+	}
+}
+
+func TestAtomEncoding(t *testing.T) {
+	cases := []struct{ kind, idx int }{
+		{AtomSlot, 0}, {AtomSlot, 500}, {AtomConst, 3}, {AtomGlobal, 77},
+	}
+	for _, c := range cases {
+		k, i := DecodeAtom(EncodeAtom(c.kind, c.idx))
+		if k != c.kind || i != c.idx {
+			t.Errorf("atom (%d,%d) decoded as (%d,%d)", c.kind, c.idx, k, i)
+		}
+	}
+}
+
+func TestInstrLen(t *testing.T) {
+	// A tiny code stream covering variable-length instructions.
+	codeArr := []Word{
+		OpCall, 0, 1, 2, 3, 0, 0, 0, // len 5+3=8
+		OpMkTuple, 0, 1, 2, 0, 0, // len 4+2=6
+		OpMkClos, 0, 1, 2, -1, 1, 2, 0, 0, 0, // len 7+1+2=10
+		OpRet, 0, // len 2
+	}
+	pcs := []int{0, 8, 14, 24}
+	lens := []int{8, 6, 10, 2}
+	for i, pc := range pcs {
+		if got := InstrLen(codeArr, pc); got != lens[i] {
+			t.Errorf("InstrLen at %d = %d, want %d", pc, got, lens[i])
+		}
+	}
+}
+
+func TestGCWordOffsets(t *testing.T) {
+	if GCWordOffset(OpCall) != 3 {
+		t.Error("OpCall gc_word must sit at +3")
+	}
+	for _, op := range []Op{OpCallC, OpMkRef, OpMkTuple, OpMkBox, OpMkClos} {
+		if GCWordOffset(op) != 2 {
+			t.Errorf("%s gc_word must sit at +2", OpName(op))
+		}
+	}
+	if GCWordOffset(OpAdd) != -1 {
+		t.Error("OpAdd has no gc_word")
+	}
+}
+
+func TestRepTableHashConsing(t *testing.T) {
+	rt := NewRepTable()
+	constH := rt.Intern(TDConst, 0, nil)
+	if rt.Intern(TDConst, 0, nil) != constH {
+		t.Fatal("const rep not hash-consed")
+	}
+	list1 := rt.Intern(TDData, 0, []int{constH})
+	list2 := rt.Intern(TDData, 0, []int{constH})
+	if list1 != list2 {
+		t.Fatal("identical composite reps not shared")
+	}
+	nested := rt.Intern(TDData, 0, []int{list1})
+	if nested == list1 {
+		t.Fatal("distinct reps merged")
+	}
+	e := rt.Entry(nested)
+	if e.Kind != TDData || len(e.Children) != 1 || e.Children[0] != list1 {
+		t.Fatalf("entry corrupted: %+v", e)
+	}
+	if rt.Len() != 3 {
+		t.Fatalf("table has %d entries, want 3", rt.Len())
+	}
+}
+
+func TestRepTableChildrenCopied(t *testing.T) {
+	rt := NewRepTable()
+	children := []int{rt.Intern(TDConst, 0, nil)}
+	h := rt.Intern(TDTuple, 0, children)
+	children[0] = 999 // mutate the caller's slice
+	if rt.Entry(h).Children[0] == 999 {
+		t.Fatal("rep table aliased the caller's slice")
+	}
+}
+
+func TestTypeDescPrinting(t *testing.T) {
+	d := &TypeDesc{Kind: TDArrow, Args: []*TypeDesc{
+		{Kind: TDVar, Index: 0},
+		{Kind: TDData, Index: 2, Args: []*TypeDesc{{Kind: TDConst}}},
+	}}
+	want := "($0 -> data2(const))"
+	if d.String() != want {
+		t.Errorf("String = %q, want %q", d.String(), want)
+	}
+}
+
+func TestMayHoldPointer(t *testing.T) {
+	if (&TypeDesc{Kind: TDConst}).MayHoldPointer() {
+		t.Error("const cannot hold pointers")
+	}
+	if (&TypeDesc{Kind: TDOpaque}).MayHoldPointer() {
+		t.Error("opaque positions are parametric non-pointers")
+	}
+	for _, k := range []TDKind{TDVar, TDRef, TDTuple, TDData, TDArrow} {
+		if !(&TypeDesc{Kind: k}).MayHoldPointer() {
+			t.Errorf("kind %d may hold pointers", k)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package code
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RepTable is the runtime type-representation table: hash-consed, immortal
+// descriptions of ground types. Rep handles are plain words (table
+// indexes), so they live in frame slots and closure rep-words without
+// participating in collection. Ground reps are interned at compile time;
+// OpMkRep instructions build instantiated reps at run time from the
+// caller's handles (the minimal runtime type information needed to trace
+// escaping polymorphic-capture closures — the completeness gap of
+// stack-only type reconstruction, quantified by experiment E8).
+type RepTable struct {
+	entries []RepEntry
+	index   map[string]int
+}
+
+// RepEntry is one interned type representation.
+type RepEntry struct {
+	Kind     TDKind
+	Index    int // datatype layout id for TDData
+	Children []int
+}
+
+// NewRepTable returns an empty table.
+func NewRepTable() *RepTable {
+	return &RepTable{index: map[string]int{}}
+}
+
+func repKey(kind TDKind, index int, children []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:%d", kind, index)
+	for _, c := range children {
+		fmt.Fprintf(&b, ",%d", c)
+	}
+	return b.String()
+}
+
+// Intern returns the handle for the given representation, creating it if
+// needed.
+func (t *RepTable) Intern(kind TDKind, index int, children []int) int {
+	key := repKey(kind, index, children)
+	if h, ok := t.index[key]; ok {
+		return h
+	}
+	h := len(t.entries)
+	cs := make([]int, len(children))
+	copy(cs, children)
+	t.entries = append(t.entries, RepEntry{Kind: kind, Index: index, Children: cs})
+	t.index[key] = h
+	return h
+}
+
+// Entry returns the representation behind a handle.
+func (t *RepTable) Entry(h int) RepEntry { return t.entries[h] }
+
+// Len returns the number of interned representations.
+func (t *RepTable) Len() int { return len(t.entries) }

@@ -1,0 +1,65 @@
+package code
+
+// Value encoding helpers. In tag-free mode values are raw: integers use the
+// full 64-bit word (the paper's "larger integers can be represented"
+// advantage), pointers are plain addresses. In tagged mode integers carry a
+// low 1-bit tag (63-bit payload, wrapping silently — the space cost the
+// paper attributes to tags), and pointers are shifted left one bit (even).
+
+// EncodeInt encodes an integer constant for the representation.
+func EncodeInt(r Repr, v int64) Word {
+	if r == ReprTagged {
+		return v<<1 | 1
+	}
+	return v
+}
+
+// DecodeInt decodes an integer value.
+func DecodeInt(r Repr, w Word) int64 {
+	if r == ReprTagged {
+		return w >> 1
+	}
+	return w
+}
+
+// EncodeBool encodes a boolean.
+func EncodeBool(r Repr, b bool) Word {
+	v := int64(0)
+	if b {
+		v = 1
+	}
+	return EncodeInt(r, v)
+}
+
+// DecodeBool decodes a boolean.
+func DecodeBool(r Repr, w Word) bool { return DecodeInt(r, w) != 0 }
+
+// EncodePtr encodes a heap address (HeapBase-relative absolute index).
+func EncodePtr(r Repr, addr int) Word {
+	if r == ReprTagged {
+		return Word(addr) << 1
+	}
+	return Word(addr)
+}
+
+// DecodePtr decodes a pointer value to its address.
+func DecodePtr(r Repr, w Word) int {
+	if r == ReprTagged {
+		return int(w >> 1)
+	}
+	return int(w)
+}
+
+// IsBoxedValue reports whether a datatype-typed value is a boxed (heap)
+// representation rather than an unboxed nullary-constructor constant.
+func IsBoxedValue(r Repr, w Word) bool {
+	if r == ReprTagged {
+		return w != 0 && w&1 == 0
+	}
+	return w >= HeapBase
+}
+
+// EncodeNullCtor encodes a nullary constructor constant by its tag.
+func EncodeNullCtor(r Repr, tag int) Word {
+	return EncodeInt(r, int64(tag))
+}

@@ -1,0 +1,132 @@
+package gcanal
+
+import (
+	"testing"
+
+	"tagfree/internal/compile/lower"
+	"tagfree/internal/ir"
+	"tagfree/internal/mlang/parser"
+	"tagfree/internal/mlang/types"
+)
+
+func analyzeCFA(t *testing.T, src string) (*ir.Program, *Result) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	irp, err := lower.Lower(prog, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return irp, AnalyzeCFA(irp)
+}
+
+func TestCFAElidesPureClosureCalls(t *testing.T) {
+	// apply's closure call can only reach the non-allocating lambda:
+	// the 0-CFA refinement elides its gc_word.
+	p, res := analyzeCFA(t, `
+let apply f x = f x
+let main () = apply (fun y -> y + 1) 3 + apply (fun y -> y * 2) 4
+`)
+	ap := fn(t, p, "apply")
+	if res.CanGCFunc[ap] {
+		t.Error("apply reaches only pure lambdas: cannot GC")
+	}
+	if res.Stats.ElidedClosSites == 0 {
+		t.Errorf("pure closure-call site should be elided: %+v", res.Stats)
+	}
+}
+
+func TestCFAKeepsAllocatingClosureCalls(t *testing.T) {
+	p, res := analyzeCFA(t, `
+let apply f x = f x
+let main () = match apply (fun y -> [y]) 3 with | v :: _ -> v | [] -> 0
+`)
+	ap := fn(t, p, "apply")
+	if !res.CanGCFunc[ap] {
+		t.Error("apply reaches an allocating lambda: can GC")
+	}
+}
+
+func TestCFAMixedTargetsConservative(t *testing.T) {
+	// One of the two lambdas allocates: every call through the shared
+	// variable stays GC-possible.
+	_, res := analyzeCFA(t, `
+let apply f x = f x
+let main () =
+  let pure = fun y -> y + 1 in
+  let alloc = fun y -> (match [y] with | v :: _ -> v | [] -> 0) in
+  let pick = if 1 < 2 then pure else alloc in
+  apply pick 3
+`)
+	if res.Stats.ElidedClosSites != 0 {
+		t.Errorf("mixed targets must stay conservative: %+v", res.Stats)
+	}
+}
+
+func TestCFAEscapeThroughList(t *testing.T) {
+	// A closure stored in a list and fetched back must be found via the
+	// escaped set; since it allocates, the call keeps its gc_word.
+	p, res := analyzeCFA(t, `
+let rec apply_all fs x = match fs with | [] -> x | f :: r -> apply_all r (f x)
+let main () =
+  let fs = [(fun y -> (match [y] with | v :: _ -> v | [] -> 0))] in
+  apply_all fs 5
+`)
+	aa := fn(t, p, "apply_all")
+	if !res.CanGCFunc[aa] {
+		t.Error("apply_all reaches an allocating closure through the heap")
+	}
+}
+
+func TestCFAEscapePureThroughList(t *testing.T) {
+	// All escaped closures are pure: even heap-fetched calls elide.
+	_, res := analyzeCFA(t, `
+let rec apply_all fs x = match fs with | [] -> x | f :: r -> apply_all r (f x)
+let main () =
+  let fs = [(fun y -> y + 1); (fun y -> y * 2)] in
+  apply_all fs 5
+`)
+	if res.Stats.ElidedClosSites == 0 {
+		t.Errorf("all heap closures are pure; elision expected: %+v", res.Stats)
+	}
+}
+
+func TestCFARecursiveSelfClosure(t *testing.T) {
+	// A self-capturing local recursive closure resolves to itself.
+	p, res := analyzeCFA(t, `
+let main () =
+  let rec go n = if n = 0 then 0 else go (n - 1) in
+  go 10
+`)
+	// go allocates nothing: its self-call should be elided, and main's
+	// only allocation is go's closure itself.
+	if res.Stats.ElidedClosSites == 0 {
+		t.Errorf("pure recursive closure call should elide: %+v", res.Stats)
+	}
+	_ = p
+}
+
+func TestCFAFirstOrderAgreesWithBaseline(t *testing.T) {
+	src := `
+let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+let mk n = [n]
+let main () = fib 10 + (match mk 1 with | x :: _ -> x | [] -> 0)
+`
+	pBase, base := analyze(t, src)
+	pCFA, cfaRes := analyzeCFA(t, src)
+	for i := range pBase.Funcs {
+		if base.CanGCFunc[pBase.Funcs[i]] != cfaRes.CanGCFunc[pCFA.Funcs[i]] {
+			t.Errorf("first-order disagreement on %s", pBase.Funcs[i].Name)
+		}
+	}
+	if cfaRes.Stats.ElidedSites != base.Stats.ElidedSites {
+		t.Errorf("direct-site elision differs: base %d, cfa %d",
+			base.Stats.ElidedSites, cfaRes.Stats.ElidedSites)
+	}
+}

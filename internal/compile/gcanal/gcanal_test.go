@@ -1,0 +1,121 @@
+package gcanal
+
+import (
+	"testing"
+
+	"tagfree/internal/compile/lower"
+	"tagfree/internal/ir"
+	"tagfree/internal/mlang/parser"
+	"tagfree/internal/mlang/types"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Result) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	irp, err := lower.Lower(prog, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return irp, Analyze(irp)
+}
+
+func fn(t *testing.T, p *ir.Program, name string) *ir.Func {
+	t.Helper()
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+func TestPureArithmeticCannotGC(t *testing.T) {
+	p, res := analyze(t, `
+let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)
+let double x = x * 2
+let main () = fib 10 + double 3
+`)
+	if res.CanGCFunc[fn(t, p, "fib")] {
+		t.Error("fib allocates nothing and calls only itself: cannot GC")
+	}
+	if res.CanGCFunc[fn(t, p, "double")] {
+		t.Error("double cannot GC")
+	}
+	// Every direct call site in this program can elide its gc_word.
+	if res.Stats.ElidedSites != res.Stats.DirectCallSites {
+		t.Errorf("all %d direct sites should elide, got %d",
+			res.Stats.DirectCallSites, res.Stats.ElidedSites)
+	}
+}
+
+func TestAllocatorPropagates(t *testing.T) {
+	p, res := analyze(t, `
+let mk n = [n]
+let wrapper n = mk n
+let outer n = wrapper n
+let pure n = n + 1
+let main () = match outer 3 with | x :: _ -> x + pure 1 | [] -> 0
+`)
+	for _, name := range []string{"mk", "wrapper", "outer"} {
+		if !res.CanGCFunc[fn(t, p, name)] {
+			t.Errorf("%s transitively allocates", name)
+		}
+	}
+	if res.CanGCFunc[fn(t, p, "pure")] {
+		t.Error("pure does not allocate")
+	}
+}
+
+func TestRecursionThroughAllocation(t *testing.T) {
+	p, res := analyze(t, `
+let rec build n = if n = 0 then [] else n :: build (n - 1)
+let main () = match build 3 with | x :: _ -> x | [] -> 0
+`)
+	if !res.CanGCFunc[fn(t, p, "build")] {
+		t.Error("build allocates cons cells")
+	}
+}
+
+func TestClosureCallsAreConservative(t *testing.T) {
+	p, res := analyze(t, `
+let apply f x = f x
+let main () = apply (fun y -> y + 1) 3
+`)
+	// apply closure-calls an unknown function: conservatively may GC.
+	if !res.CanGCFunc[fn(t, p, "apply")] {
+		t.Error("closure calls must be treated as possibly collecting")
+	}
+}
+
+func TestCanGCFlagsRefined(t *testing.T) {
+	p, _ := analyze(t, `
+let pure x = x * x
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let main () = pure 3 + sum [1; 2]
+`)
+	main := fn(t, p, "main")
+	for _, r := range ir.Rhss(main) {
+		call, ok := r.(*ir.RCall)
+		if !ok {
+			continue
+		}
+		switch call.Callee.Name {
+		case "pure":
+			if call.CanGC {
+				t.Error("call to pure should have CanGC=false")
+			}
+		case "sum":
+			if call.CanGC {
+				t.Error("sum traverses but does not allocate... verify")
+			}
+		}
+	}
+}

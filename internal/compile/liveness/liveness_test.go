@@ -1,0 +1,218 @@
+package liveness
+
+import (
+	"testing"
+
+	"tagfree/internal/compile/gcanal"
+	"tagfree/internal/compile/lower"
+	"tagfree/internal/ir"
+	"tagfree/internal/mlang/parser"
+	"tagfree/internal/mlang/types"
+)
+
+// build lowers a program and runs the GC-possible analysis (liveness reads
+// the refined CanGC flags).
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	irp, err := lower.Lower(prog, info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	gcanal.Analyze(irp)
+	return irp
+}
+
+func fn(t *testing.T, p *ir.Program, name string) *ir.Func {
+	t.Helper()
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+func TestPaperAppendExample(t *testing.T) {
+	// §2.4 of the paper: in append, nothing needs tracing at either call —
+	// temp is an integer and res is dead during the cons.
+	p := build(t, `
+let rec append xs ys =
+  match xs with
+  | [] -> ys
+  | x :: rest -> x :: append rest ys
+let main () = append [1] [2]
+`)
+	app := fn(t, p, "append")
+	maps := Analyze(app)
+	for _, r := range ir.Rhss(app) {
+		switch r := r.(type) {
+		case *ir.RCall:
+			if r.Callee.Name != "append" {
+				continue
+			}
+			// At the recursive call only x (an int, filtered later by
+			// type) may be live; no list slot should be.
+			for _, s := range maps[r.Site] {
+				if ts := types.TypeString(s.Type); ts == "int list" {
+					t.Errorf("list slot %s live at recursive append call (paper says no_trace)", s.Name)
+				}
+			}
+		case *ir.RCtor:
+			// At the cons, its operands are live (re-read after GC), but
+			// nothing else.
+			for _, s := range maps[r.Site] {
+				used := false
+				for _, a := range r.Args {
+					if sl, ok := a.(*ir.ASlot); ok && sl.Slot == s {
+						used = true
+					}
+				}
+				if !used {
+					t.Errorf("slot %s live at cons but not an operand", s.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestDeadAfterUse(t *testing.T) {
+	p := build(t, `
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let f () =
+  let a = upto 10 in
+  let s1 = sum a in
+  let b = upto 20 in
+  let s2 = sum b in
+  s1 + s2
+let main () = f ()
+`)
+	f := fn(t, p, "f")
+	maps := Analyze(f)
+	var sumCalls []*ir.RCall
+	for _, r := range ir.Rhss(f) {
+		if call, ok := r.(*ir.RCall); ok && call.Callee.Name == "sum" {
+			sumCalls = append(sumCalls, call)
+		}
+	}
+	if len(sumCalls) != 2 {
+		t.Fatalf("want 2 sum calls, got %d", len(sumCalls))
+	}
+	// At the second sum call, list a must be dead.
+	for _, s := range maps[sumCalls[1].Site] {
+		if s.Name == "a" {
+			t.Error("a is dead at the second sum call but still in the map")
+		}
+	}
+	// At the first sum call, a is an argument (dead: consumed by the call),
+	// and b does not exist yet — the map must not mention b.
+	for _, s := range maps[sumCalls[0].Site] {
+		if s.Name == "b" {
+			t.Error("b is not yet initialized at the first sum call")
+		}
+	}
+}
+
+func TestLiveAcrossCall(t *testing.T) {
+	p := build(t, `
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let g () =
+  let keep = upto 5 in
+  let s = sum (upto 3) in
+  s + sum keep
+let main () = g ()
+`)
+	g := fn(t, p, "g")
+	maps := Analyze(g)
+	// sum cannot collect (its sites are elided); the GC-able site inside
+	// g's body is the second upto call, across which keep must stay live.
+	uptoCalls := 0
+	for _, r := range ir.Rhss(g) {
+		call, ok := r.(*ir.RCall)
+		if !ok || call.Callee.Name != "upto" {
+			continue
+		}
+		uptoCalls++
+		if uptoCalls != 2 {
+			continue
+		}
+		names := map[string]bool{}
+		for _, s := range maps[call.Site] {
+			names[s.Name] = true
+		}
+		if !names["keep"] {
+			t.Error("keep must be live across the second upto call")
+		}
+	}
+	if uptoCalls != 2 {
+		t.Fatalf("expected 2 upto calls, got %d", uptoCalls)
+	}
+}
+
+func TestAllocOperandsLive(t *testing.T) {
+	p := build(t, `
+let pair a b = (a, b)
+let main () =
+  let x = [1] in
+  let y = [2] in
+  pair (x, y) (y, x)
+`)
+	main := fn(t, p, "main")
+	maps := Analyze(main)
+	for _, r := range ir.Rhss(main) {
+		tup, ok := r.(*ir.RTuple)
+		if !ok {
+			continue
+		}
+		// Every slot operand of the tuple must be in its own map (the VM
+		// re-reads operands after a potential collection).
+		inMap := map[int]bool{}
+		for _, s := range maps[tup.Site] {
+			inMap[s.Idx] = true
+		}
+		for _, a := range tup.Elems {
+			if sl, ok := a.(*ir.ASlot); ok && !inMap[sl.Slot.Idx] {
+				t.Errorf("tuple operand %s missing from alloc-site map", sl.Slot.Name)
+			}
+		}
+	}
+}
+
+func TestBranchesUnionAtCond(t *testing.T) {
+	p := build(t, `
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let h b =
+  let l1 = upto 3 in
+  let l2 = upto 4 in
+  let probe = sum [9] in
+  (if b then sum l1 else sum l2) + probe
+let main () = h true
+`)
+	h := fn(t, p, "h")
+	maps := Analyze(h)
+	// At the probe call both l1 and l2 are live (each used in one branch).
+	for _, r := range ir.Rhss(h) {
+		call, ok := r.(*ir.RCall)
+		if !ok || call.Callee.Name != "sum" {
+			continue
+		}
+		names := map[string]bool{}
+		for _, s := range maps[call.Site] {
+			names[s.Name] = true
+		}
+		if names["l1"] != names["l2"] {
+			t.Errorf("branch union broken at a sum call: l1=%v l2=%v", names["l1"], names["l2"])
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"tagfree/internal/ir"
+	"tagfree/internal/mlang/parser"
+	"tagfree/internal/mlang/types"
+)
+
+func lowerSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, err := Lower(prog, info)
+	if err != nil {
+		t.Fatalf("lower: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func findFunc(t *testing.T, p *ir.Program, name string) *ir.Func {
+	t.Helper()
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("no function %s; have %v", name, funcNames(p))
+	return nil
+}
+
+func funcNames(p *ir.Program) []string {
+	out := make([]string, len(p.Funcs))
+	for i, f := range p.Funcs {
+		out[i] = f.Name
+	}
+	return out
+}
+
+func TestLowerSimple(t *testing.T) {
+	p := lowerSrc(t, `
+let add x y = x + y
+let main () = add 1 2
+`)
+	add := findFunc(t, p, "add")
+	if add.NParams != 2 || add.HasEnv {
+		t.Fatalf("add: NParams=%d HasEnv=%v", add.NParams, add.HasEnv)
+	}
+	main := findFunc(t, p, "main")
+	var call *ir.RCall
+	for _, r := range ir.Rhss(main) {
+		if rc, ok := r.(*ir.RCall); ok {
+			call = rc
+		}
+	}
+	if call == nil || call.Callee != add {
+		t.Fatalf("main should direct-call add; body:\n%s", main.String())
+	}
+}
+
+func TestLowerPolymorphicCallInst(t *testing.T) {
+	p := lowerSrc(t, `
+let id x = x
+let main () = id 7
+`)
+	id := findFunc(t, p, "id")
+	if len(id.TypeEnv) != 1 || id.TypeSource != ir.TypeSourceCallSite {
+		t.Fatalf("id TypeEnv=%d source=%v", len(id.TypeEnv), id.TypeSource)
+	}
+	main := findFunc(t, p, "main")
+	for _, r := range ir.Rhss(main) {
+		if rc, ok := r.(*ir.RCall); ok && rc.Callee == id {
+			if len(rc.Inst) != 1 {
+				t.Fatalf("call to id should record 1 instantiation, got %d", len(rc.Inst))
+			}
+			if b, ok := types.Resolve(rc.Inst[0]).(*types.Base); !ok || b.Kind != types.IntK {
+				t.Fatalf("id instantiated at %s", types.TypeString(rc.Inst[0]))
+			}
+			return
+		}
+	}
+	t.Fatal("no direct call to id found")
+}
+
+func TestLowerClosureCapture(t *testing.T) {
+	p := lowerSrc(t, `
+let main () =
+  let k = 10 in
+  let addk = fun x -> x + k in
+  addk 5
+`)
+	var clo *ir.Func
+	for _, f := range p.Funcs {
+		if f.HasEnv {
+			clo = f
+		}
+	}
+	if clo == nil {
+		t.Fatal("no lifted closure")
+	}
+	if len(clo.Captures) != 1 || clo.Captures[0].Name != "k" {
+		t.Fatalf("closure captures: %+v", clo.Captures)
+	}
+	// The body must load the capture through the environment slot.
+	foundLoad := false
+	for _, r := range ir.Rhss(clo) {
+		if f, ok := r.(*ir.RField); ok && f.FromCapture {
+			foundLoad = true
+		}
+	}
+	if !foundLoad {
+		t.Fatalf("closure body should load captures:\n%s", clo.String())
+	}
+}
+
+func TestLowerPartialApplication(t *testing.T) {
+	p := lowerSrc(t, `
+let add x y = x + y
+let main () =
+  let inc = add 1 in
+  inc 41
+`)
+	main := findFunc(t, p, "main")
+	var mk *ir.RClosure
+	var callc *ir.RCallClos
+	for _, r := range ir.Rhss(main) {
+		switch r := r.(type) {
+		case *ir.RClosure:
+			mk = r
+		case *ir.RCallClos:
+			callc = r
+		}
+	}
+	if mk == nil {
+		t.Fatalf("partial application should create a closure:\n%s", main.String())
+	}
+	if len(mk.Captures) != 1 {
+		t.Fatalf("curried closure should capture the supplied argument, got %d", len(mk.Captures))
+	}
+	if callc == nil {
+		t.Fatal("inc 41 should be a closure call")
+	}
+	// The wrapper's body direct-calls add with both arguments.
+	w := mk.Target
+	for _, r := range ir.Rhss(w) {
+		if rc, ok := r.(*ir.RCall); ok {
+			if rc.Callee.Name != "add" || len(rc.Args) != 2 {
+				t.Fatalf("wrapper should call add with 2 args: %s", ir.RhsString(rc))
+			}
+			return
+		}
+	}
+	t.Fatalf("wrapper body has no direct call:\n%s", w.String())
+}
+
+func TestLowerFunctionAsValue(t *testing.T) {
+	p := lowerSrc(t, `
+let double x = x * 2
+let rec map f xs =
+  match xs with
+  | [] -> []
+  | x :: rest -> f x :: map f rest
+let main () = map double [1; 2; 3]
+`)
+	main := findFunc(t, p, "main")
+	foundClosure := false
+	for _, r := range ir.Rhss(main) {
+		if rc, ok := r.(*ir.RClosure); ok && strings.Contains(rc.Target.Name, "double") {
+			foundClosure = true
+		}
+	}
+	if !foundClosure {
+		t.Fatalf("double as a value should become a wrapper closure:\n%s", main.String())
+	}
+	// map's body calls f via the closure protocol.
+	mp := findFunc(t, p, "map")
+	foundCallc := false
+	for _, r := range ir.Rhss(mp) {
+		if _, ok := r.(*ir.RCallClos); ok {
+			foundCallc = true
+		}
+	}
+	if !foundCallc {
+		t.Fatalf("map should closure-call its argument:\n%s", mp.String())
+	}
+}
+
+func TestLowerMatchCompilation(t *testing.T) {
+	p := lowerSrc(t, `
+type shape = Point | Circle of int | Rect of int * int
+let area s =
+  match s with
+  | Point -> 0
+  | Circle r -> 3 * r * r
+  | Rect (w, h) -> w * h
+let main () = area (Rect (3, 4))
+`)
+	area := findFunc(t, p, "area")
+	var sawIsBoxed, sawTagIs bool
+	for _, r := range ir.Rhss(area) {
+		if pr, ok := r.(*ir.RPrim); ok {
+			switch pr.Op {
+			case ir.PIsBoxed:
+				sawIsBoxed = true
+			case ir.PTagIs:
+				sawTagIs = true
+			}
+		}
+	}
+	if !sawIsBoxed || !sawTagIs {
+		t.Fatalf("shape match needs boxedness and tag tests (boxed=%v tag=%v):\n%s",
+			sawIsBoxed, sawTagIs, area.String())
+	}
+}
+
+func TestLowerTaglessSumNoTagTest(t *testing.T) {
+	// list has a single boxed constructor: no discriminant test needed.
+	p := lowerSrc(t, `
+let rec len xs = match xs with | [] -> 0 | _ :: r -> 1 + len r
+let main () = len [1; 2]
+`)
+	ln := findFunc(t, p, "len")
+	for _, r := range ir.Rhss(ln) {
+		if pr, ok := r.(*ir.RPrim); ok && pr.Op == ir.PTagIs {
+			t.Fatalf("list match must not read a discriminant:\n%s", ln.String())
+		}
+	}
+}
+
+func TestLowerLocalRecSelfCapture(t *testing.T) {
+	p := lowerSrc(t, `
+let main () =
+  let rec go n = if n = 0 then 0 else go (n - 1) in
+  go 10
+`)
+	var rec *ir.RClosure
+	for _, f := range p.Funcs {
+		for _, r := range ir.Rhss(f) {
+			if rc, ok := r.(*ir.RClosure); ok && rc.SelfCapture >= 0 {
+				rec = rc
+			}
+		}
+	}
+	if rec == nil {
+		t.Fatal("recursive local closure should use a self capture")
+	}
+}
+
+func TestLowerMutualLocalRecPatches(t *testing.T) {
+	p := lowerSrc(t, `
+let main () =
+  let rec even n = if n = 0 then true else odd (n - 1)
+  and odd n = if n = 0 then false else even (n - 1) in
+  if even 10 then 1 else 0
+`)
+	foundPatch := false
+	for _, f := range p.Funcs {
+		for _, r := range ir.Rhss(f) {
+			if _, ok := r.(*ir.RPatchCapture); ok {
+				foundPatch = true
+			}
+		}
+	}
+	if !foundPatch {
+		t.Fatal("mutual local recursion should emit capture patches")
+	}
+}
+
+func TestLowerGlobals(t *testing.T) {
+	p := lowerSrc(t, `
+let limit = 100
+let table = [1; 2; 3]
+let main () = limit
+`)
+	if len(p.Globals) != 2 {
+		t.Fatalf("want 2 globals, got %d", len(p.Globals))
+	}
+	stores := 0
+	for _, r := range ir.Rhss(p.InitFunc) {
+		if _, ok := r.(*ir.RSetGlobal); ok {
+			stores++
+		}
+	}
+	if stores != 2 {
+		t.Fatalf("init should store 2 globals, got %d", stores)
+	}
+}
+
+func TestLowerEnvRepPhantomStored(t *testing.T) {
+	// The thunk captures x:'a but has type unit -> int: 'a is phantom and
+	// must be stored as a type-rep word; make_thunk must receive reps.
+	// (The let-binding of t keeps the inner lambda out of make_thunk's
+	// direct parameter chain, so a real closure is created.)
+	p := lowerSrc(t, `
+let make_thunk x =
+  let th = fun () -> (let _ = [x] in 0) in
+  th
+let main () =
+  let t = make_thunk 5 in
+  t ()
+`)
+	mk := findFunc(t, p, "make_thunk")
+	if !mk.NeedsReps {
+		t.Fatalf("make_thunk should need hidden rep arguments")
+	}
+	var thunk *ir.Func
+	for _, f := range p.Funcs {
+		if f.Parent == mk {
+			thunk = f
+		}
+	}
+	if thunk == nil {
+		t.Fatal("no lifted thunk")
+	}
+	if thunk.NumRepWords != 1 {
+		t.Fatalf("thunk should store 1 rep word, got %d (env=%d derivs=%v)",
+			thunk.NumRepWords, len(thunk.TypeEnv), thunk.TypeDerivs)
+	}
+}
+
+func TestLowerDerivableNoReps(t *testing.T) {
+	// Partial application closures capture 'a-typed values, but 'a occurs
+	// in the closure's arrow type: derivable, no reps anywhere.
+	p := lowerSrc(t, `
+let rec append xs ys =
+  match xs with
+  | [] -> ys
+  | x :: r -> x :: append r ys
+let main () =
+  let app = append [1; 2] in
+  app [3]
+`)
+	for _, f := range p.Funcs {
+		if f.NeedsReps {
+			t.Fatalf("%s should not need reps", f.Name)
+		}
+		if f.NumRepWords != 0 {
+			t.Fatalf("%s should not store reps (stored %d)", f.Name, f.NumRepWords)
+		}
+	}
+}
+
+func TestLowerLocalPolyPhantomRejected(t *testing.T) {
+	src := `
+let main () =
+  let mk x = fun () -> (let _ = [x] in 0) in
+  let a = mk 1 in
+  let b = mk true in
+  let _ = a () in
+  b ()
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if _, err := Lower(prog, info); err == nil {
+		t.Fatal("local polymorphic phantom closure should be rejected")
+	} else if !strings.Contains(err.Error(), "runtime type representation") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestLowerSeqDiscard(t *testing.T) {
+	p := lowerSrc(t, `
+let main () = print_int 1; print_int 2; 3
+`)
+	main := findFunc(t, p, "main")
+	prints := 0
+	for _, r := range ir.Rhss(main) {
+		if b, ok := r.(*ir.RBuiltin); ok && b.Name == "print_int" {
+			prints++
+		}
+	}
+	if prints != 2 {
+		t.Fatalf("want 2 print_int builtins, got %d", prints)
+	}
+}
+
+func TestLowerIfJoin(t *testing.T) {
+	p := lowerSrc(t, `
+let main () = if 1 < 2 then 10 else 20
+`)
+	main := findFunc(t, p, "main")
+	var cond *ir.ECond
+	ir.WalkExprs(main.Body, func(e ir.Expr) {
+		if c, ok := e.(*ir.ECond); ok && cond == nil {
+			cond = c
+		}
+	})
+	if cond == nil || cond.Dst == nil || cond.Cont == nil {
+		t.Fatalf("value conditional needs a join destination:\n%s", main.String())
+	}
+}
+
+func TestLowerCallSiteNumbering(t *testing.T) {
+	p := lowerSrc(t, `
+let f x = x + 1
+let main () =
+  let a = f 1 in
+  let b = f 2 in
+  let c = (a, b) in
+  c
+`)
+	main := findFunc(t, p, "main")
+	if main.NumCallSites != 3 {
+		t.Fatalf("main should have 3 call/alloc sites (2 calls + 1 tuple), got %d", main.NumCallSites)
+	}
+}
+
+func TestLowerRecursiveCallIdentityInst(t *testing.T) {
+	// A recursive polymorphic call type-checks against the monomorphic
+	// recursion binding, so the checker records no instantiation; lowering
+	// must supply the identity (the callee's variables are the caller's
+	// own). Without it the collector passes no type arguments to deeper
+	// recursive frames — a soundness bug exposed by mark/sweep collection.
+	p := lowerSrc(t, `
+let rec map f xs = match xs with | [] -> [] | x :: r -> f x :: map f r
+let main () = map (fun x -> [x; x]) [1; 2; 3]
+`)
+	mp := findFunc(t, p, "map")
+	if len(mp.TypeEnv) != 2 {
+		t.Fatalf("map TypeEnv = %d, want 2", len(mp.TypeEnv))
+	}
+	for _, r := range ir.Rhss(mp) {
+		call, ok := r.(*ir.RCall)
+		if !ok || call.Callee != mp {
+			continue
+		}
+		if len(call.Inst) != 2 {
+			t.Fatalf("recursive call records %d instantiations, want 2 (identity)", len(call.Inst))
+		}
+		for i, inst := range call.Inst {
+			v, ok := types.Resolve(inst).(*types.Var)
+			if !ok || v != mp.TypeEnv[i] {
+				t.Fatalf("recursive inst %d is %s, want the function's own variable",
+					i, types.TypeString(inst))
+			}
+		}
+		return
+	}
+	t.Fatal("no recursive call found in map")
+}

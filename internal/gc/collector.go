@@ -1,0 +1,425 @@
+package gc
+
+import (
+	"fmt"
+	"time"
+
+	"tagfree/internal/code"
+	"tagfree/internal/heap"
+)
+
+// Strategy selects the collection method.
+type Strategy int
+
+// Collection strategies.
+const (
+	// StratCompiled is the paper's compiled method: per-call-site frame
+	// routines prebuilt from compiler metadata.
+	StratCompiled Strategy = iota
+	// StratInterp is the Branquart/Lewi interpreted-descriptor method.
+	StratInterp
+	// StratAppel is the single-descriptor-per-procedure method with
+	// per-frame dynamic-chain type resolution.
+	StratAppel
+	// StratTagged is the tagged baseline (headers + word tags, no
+	// compiler metadata).
+	StratTagged
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StratCompiled:
+		return "compiled"
+	case StratInterp:
+		return "interp"
+	case StratAppel:
+		return "appel"
+	case StratTagged:
+		return "tagged"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// CompatibleRepr returns the value representation a strategy requires.
+func (s Strategy) CompatibleRepr() code.Repr {
+	if s == StratTagged {
+		return code.ReprTagged
+	}
+	return code.ReprTagFree
+}
+
+// TaskRoots describes one task's stack for collection.
+type TaskRoots struct {
+	Stack []code.Word
+	FP    int
+	SP    int
+	// PC is the instruction the task is stopped at: the allocation
+	// instruction for the task that triggered collection, or the call
+	// instruction a suspended task is about to execute (tasking, §4).
+	PC int
+	// AtCall marks a task suspended *before* a call: the call's argument
+	// slots are still owned by this frame and join its root set.
+	AtCall bool
+}
+
+// Stats instruments collection work for the experiment harness.
+type Stats struct {
+	Collections   int64
+	FramesTraced  int64
+	SlotsTraced   int64
+	ObjectsCopied int64
+	// TypeGCBuilt counts distinct type_gc_routine closures constructed.
+	TypeGCBuilt int64
+	// DescBytesDecoded counts descriptor bytes decoded (interp mode).
+	DescBytesDecoded int64
+	// ChainSteps counts per-frame dynamic-chain resolution steps (Appel
+	// mode; quadratic in stack depth for polymorphic towers).
+	ChainSteps int64
+	// WordsScanned counts stack/heap words examined by the tagged scan.
+	WordsScanned int64
+	// PauseNS is the total wall-clock time spent inside collections.
+	PauseNS int64
+}
+
+// DebugTrace, when set, logs every frame and slot traced (tests only).
+var DebugTrace = false
+
+// Collector runs collections over a heap for one compiled program.
+type Collector struct {
+	Prog  *code.Program
+	Heap  *heap.Heap
+	Strat Strategy
+	Stats Stats
+
+	b *builder
+	// compiledSites holds the prebuilt frame routines (compiled mode).
+	compiledSites [][]slotTracer
+	// interpSites holds the serialized frame maps (interp mode).
+	interpSites [][]byte
+	// MetadataSize reports the strategy's GC metadata footprint in words
+	// (experiment E4).
+	MetadataSize int64
+}
+
+// slotTracer is one step of a compiled frame routine.
+type slotTracer struct {
+	slot   int
+	ground TypeGC         // non-nil when the descriptor is monomorphic
+	desc   *code.TypeDesc // otherwise resolved against frame type args
+}
+
+// New builds a collector, precompiling the strategy's metadata (the
+// analogue of the compiler emitting frame_gc_routines into the binary).
+func New(prog *code.Program, h *heap.Heap, strat Strategy) (*Collector, error) {
+	if strat.CompatibleRepr() != prog.Repr {
+		return nil, fmt.Errorf("gc: strategy %v requires %v representation, program is %v",
+			strat, strat.CompatibleRepr(), prog.Repr)
+	}
+	c := &Collector{Prog: prog, Heap: h, Strat: strat, b: newBuilder()}
+	switch strat {
+	case StratCompiled:
+		c.compiledSites = make([][]slotTracer, len(prog.Sites))
+		for i, si := range prog.Sites {
+			routine := make([]slotTracer, 0, len(si.Live))
+			for _, e := range si.Live {
+				st := slotTracer{slot: e.Slot, desc: e.Desc}
+				if isGround(e.Desc) {
+					st.ground = c.FromDesc(e.Desc, nil)
+				}
+				routine = append(routine, st)
+				// A compiled trace step costs roughly a handful of
+				// instructions; model routine size as words.
+				c.MetadataSize += 4
+			}
+			c.compiledSites[i] = routine
+			c.MetadataSize += 2 // routine prologue/dispatch entry
+		}
+	case StratInterp:
+		c.interpSites = make([][]byte, len(prog.Sites))
+		for i, si := range prog.Sites {
+			c.interpSites[i] = encodeSite(si)
+			c.MetadataSize += int64((len(c.interpSites[i]) + 7) / 8)
+		}
+	case StratAppel:
+		for _, fi := range prog.Funcs {
+			// One descriptor per procedure: every pointer-bearing slot.
+			c.MetadataSize += int64(len(fi.AllSlots)) // ~1 word per entry
+		}
+	case StratTagged:
+		// No compiler metadata; the cost is paid in headers and tag bits.
+	}
+	return c, nil
+}
+
+func isGround(d *code.TypeDesc) bool {
+	if d.Kind == code.TDVar {
+		return false
+	}
+	for _, a := range d.Args {
+		if !isGround(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// pkg is the type information a frame's gc routine hands to its callee's:
+// resolved type arguments for direct calls, or the closure's structured
+// type_gc_routine for closure calls (Figure 4).
+type pkg struct {
+	direct []TypeGC
+	arrow  TypeGC
+}
+
+// Collect runs one collection over all task stacks and globals.
+func (c *Collector) Collect(tasks []TaskRoots, globals []code.Word) {
+	start := time.Now()
+	c.Stats.Collections++
+	c.Heap.BeginGC()
+
+	for i, g := range c.Prog.Globals {
+		if c.Strat == StratTagged {
+			globals[i] = c.traceTaggedWord(globals[i])
+		} else {
+			gc := c.FromDesc(g.Desc, nil)
+			globals[i] = gc.Trace(c, globals[i])
+		}
+	}
+
+	for _, t := range tasks {
+		if c.Strat == StratTagged {
+			c.collectTaggedTask(t)
+		} else {
+			c.collectTask(t)
+		}
+	}
+
+	if c.Strat == StratTagged {
+		c.cheneyScan()
+	}
+
+	c.Stats.TypeGCBuilt = c.b.Built
+	c.Heap.EndGC()
+	c.Stats.PauseNS += time.Since(start).Nanoseconds()
+}
+
+// collectTask walks one task's stack oldest→newest, passing type packages
+// frame to frame (§3: "the stack is traversed at most twice" — one pass to
+// gather frame pointers, one to trace).
+func (c *Collector) collectTask(t TaskRoots) {
+	fps, pcs := frameChain(t)
+	var incoming pkg
+	for i, fp := range fps {
+		siteIdx, site := c.siteAt(pcs[i])
+		fi := c.Prog.Funcs[site.Func]
+		var targs []TypeGC
+		if c.Strat == StratAppel {
+			targs = c.appelTypeArgs(t, fps, pcs, i)
+		} else {
+			targs = c.frameTypeArgs(fi, incoming, t.Stack, fp)
+		}
+		c.traceFrame(siteIdx, site, fi, t.Stack, fp, targs, t.AtCall && i == len(fps)-1)
+		if i < len(fps)-1 && c.Strat != StratAppel {
+			incoming = c.outgoing(site, targs)
+		}
+	}
+	c.Stats.FramesTraced += int64(len(fps))
+}
+
+// frameChain returns the frame pointers oldest-first and the pc each frame
+// is blocked at (the callee's stored return address, or the task's current
+// pc for the newest frame). Gathering the chain is the paper's initial
+// pointer-reversal traversal, realized as an index pass.
+func frameChain(t TaskRoots) (fps, pcs []int) {
+	for fp := t.FP; fp >= 0; fp = int(t.Stack[fp]) {
+		fps = append(fps, fp)
+	}
+	// Reverse to oldest-first.
+	for i, j := 0, len(fps)-1; i < j; i, j = i+1, j-1 {
+		fps[i], fps[j] = fps[j], fps[i]
+	}
+	pcs = make([]int, len(fps))
+	for i := range fps {
+		if i == len(fps)-1 {
+			pcs[i] = t.PC
+		} else {
+			pcs[i] = int(t.Stack[fps[i+1]+1])
+		}
+	}
+	return fps, pcs
+}
+
+// siteAt reads the gc_word embedded next to the call/alloc instruction at
+// pc — the Figure 1 lookup.
+func (c *Collector) siteAt(pc int) (int, *code.SiteInfo) {
+	op := c.Prog.Code[pc]
+	off := code.GCWordOffset(op)
+	if off < 0 {
+		panic(fmt.Sprintf("gc: no gc_word at pc %d (op %s)", pc, code.OpName(op)))
+	}
+	gcw := c.Prog.Code[pc+off]
+	if gcw < 0 {
+		panic(fmt.Sprintf("gc: collection at elided gc_word (pc %d)", pc))
+	}
+	return int(gcw), c.Prog.Sites[gcw]
+}
+
+// frameTypeArgs resolves a frame's type environment.
+func (c *Collector) frameTypeArgs(fi *code.FuncInfo, incoming pkg, stack []code.Word, fp int) []TypeGC {
+	switch fi.TypeSource {
+	case code.TypeSourceNone:
+		return nil
+	case code.TypeSourceCallSite:
+		return incoming.direct
+	case code.TypeSourceEnv:
+		env := stack[fp+2] // slot 0: the closure being executed
+		return c.envTypeArgs(fi, env, incoming.arrow)
+	}
+	return nil
+}
+
+// envTypeArgs derives a closure-called frame's type arguments from the
+// call-site package (derivable entries) and the closure's rep words.
+func (c *Collector) envTypeArgs(fi *code.FuncInfo, clos code.Word, ref TypeGC) []TypeGC {
+	targs := make([]TypeGC, fi.TypeEnvLen)
+	for i := 0; i < fi.TypeEnvLen; i++ {
+		switch {
+		case fi.RepWord != nil && fi.RepWord[i] >= 0 && code.IsBoxedValue(c.Heap.Repr, clos):
+			h := int(code.DecodeInt(c.Heap.Repr, c.Heap.Field(clos, 1+fi.RepWord[i])))
+			targs[i] = c.FromRep(h)
+		case fi.Derivs != nil && fi.Derivs[i] != nil && ref != nil:
+			targs[i] = ApplyPath(ref, fi.Derivs[i])
+		default:
+			targs[i] = c.b.Const()
+		}
+	}
+	return targs
+}
+
+// outgoing builds the package this frame's routine passes to its callee's.
+func (c *Collector) outgoing(site *code.SiteInfo, targs []TypeGC) pkg {
+	switch site.Kind {
+	case code.SiteCall:
+		out := make([]TypeGC, len(site.CalleeInst))
+		for i, d := range site.CalleeInst {
+			out[i] = c.FromDesc(d, targs)
+		}
+		return pkg{direct: out}
+	case code.SiteCallC:
+		return pkg{arrow: c.FromDesc(site.SiteType, targs)}
+	}
+	return pkg{}
+}
+
+// traceFrame traces one frame's slots per the strategy.
+func (c *Collector) traceFrame(siteIdx int, site *code.SiteInfo, fi *code.FuncInfo, stack []code.Word, fp int, targs []TypeGC, atCall bool) {
+	base := fp + 2
+	if DebugTrace {
+		fmt.Printf("  frame %s (fp=%d targs=%d) site kind=%d live=%d calleeInst=%d callee=%s\n",
+			c.Prog.Funcs[site.Func].Name, fp, len(targs), site.Kind, len(site.Live),
+			len(site.CalleeInst), c.Prog.Funcs[site.Callee].Name)
+	}
+	switch c.Strat {
+	case StratCompiled:
+		for _, st := range c.compiledSites[siteIdx] {
+			g := st.ground
+			if g == nil {
+				g = c.FromDesc(st.desc, targs)
+			}
+			if DebugTrace {
+				fmt.Printf("    slot %d val=%d desc=%s\n", st.slot, stack[base+st.slot], st.desc)
+			}
+			stack[base+st.slot] = g.Trace(c, stack[base+st.slot])
+			c.Stats.SlotsTraced++
+		}
+	case StratInterp:
+		c.interpTraceFrame(c.interpSites[siteIdx], stack, base, targs)
+	case StratAppel:
+		for _, e := range fi.AllSlots {
+			g := c.FromDesc(e.Desc, targs)
+			stack[base+e.Slot] = g.Trace(c, stack[base+e.Slot])
+			c.Stats.SlotsTraced++
+		}
+	}
+	if atCall {
+		// A task suspended before executing a call still owns the call's
+		// argument values in its own slots; trace them through the site's
+		// argument map (tasking, §4).
+		for _, e := range site.Args {
+			g := c.FromDesc(e.Desc, targs)
+			stack[base+e.Slot] = g.Trace(c, stack[base+e.Slot])
+			c.Stats.SlotsTraced++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Appel-mode type resolution: re-walk the chain for every frame.
+// ---------------------------------------------------------------------------
+
+// appelTypeArgs resolves frame i's type arguments by walking the dynamic
+// chain from the bottom every time — "the tracing of each polymorphic
+// function's activation record may involve traversing a fair amount of the
+// stack" (§1.1.1/§3). The work is O(i) per frame, O(n²) per collection.
+func (c *Collector) appelTypeArgs(t TaskRoots, fps, pcs []int, target int) []TypeGC {
+	var incoming pkg
+	for j := 0; j <= target; j++ {
+		_, site := c.siteAt(pcs[j])
+		fi := c.Prog.Funcs[site.Func]
+		targs := c.frameTypeArgs(fi, incoming, t.Stack, fps[j])
+		c.Stats.ChainSteps++
+		if j == target {
+			return targs
+		}
+		incoming = c.outgoing(site, targs)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Tagged baseline.
+// ---------------------------------------------------------------------------
+
+// collectTaggedTask scans every word of every frame by tag bits. No
+// compiler metadata is consulted: frame extents come from the dynamic
+// links alone.
+func (c *Collector) collectTaggedTask(t TaskRoots) {
+	fps, _ := frameChain(t)
+	for i, fp := range fps {
+		var end int
+		if i == len(fps)-1 {
+			end = t.SP
+		} else {
+			end = fps[i+1]
+		}
+		for j := fp + 2; j < end; j++ {
+			c.Stats.WordsScanned++
+			t.Stack[j] = c.traceTaggedWord(t.Stack[j])
+		}
+	}
+	c.Stats.FramesTraced += int64(len(fps))
+}
+
+// traceTaggedWord forwards one word if it is a pointer.
+func (c *Collector) traceTaggedWord(w code.Word) code.Word {
+	if !code.IsBoxedValue(code.ReprTagged, w) {
+		return w
+	}
+	if fwd, ok := c.Heap.Forwarded(w); ok {
+		return fwd
+	}
+	n := c.Heap.ObjLen(w)
+	nw := c.Heap.CopyObject(w, n)
+	c.Stats.ObjectsCopied++
+	return nw
+}
+
+// cheneyScan completes the tagged collection: scan to-space linearly,
+// forwarding every pointer field (headers give object extents).
+func (c *Collector) cheneyScan() {
+	c.Heap.ScanToSpace(func(w code.Word) code.Word {
+		c.Stats.WordsScanned++
+		return c.traceTaggedWord(w)
+	})
+}

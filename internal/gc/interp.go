@@ -1,0 +1,123 @@
+package gc
+
+import (
+	"encoding/binary"
+
+	"tagfree/internal/code"
+)
+
+// The interpreted method (Branquart & Lewi 1970; Britton 1975) stores each
+// site's frame map as a compact byte string and decodes it during every
+// collection. Compared with compiled routines the metadata is much
+// smaller, but each trace pays a decoding cost — the space/time trade-off
+// the paper defers to experiments (§2.4), measured here as E4.
+//
+// Encoding (all integers unsigned varints):
+//
+//	site    := count (slot desc)*
+//	desc    := kind rest
+//	rest    := ε                      kind ∈ {const, opaque}
+//	         | index                  kind = var
+//	         | desc                   kind = ref
+//	         | count desc*            kind = tuple
+//	         | index count desc*      kind = data
+//	         | desc desc              kind = arrow
+func encodeSite(si *code.SiteInfo) []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(si.Live)))
+	for _, e := range si.Live {
+		out = binary.AppendUvarint(out, uint64(e.Slot))
+		out = encodeDesc(out, e.Desc)
+	}
+	return out
+}
+
+func encodeDesc(out []byte, d *code.TypeDesc) []byte {
+	out = binary.AppendUvarint(out, uint64(d.Kind))
+	switch d.Kind {
+	case code.TDConst, code.TDOpaque:
+	case code.TDVar:
+		out = binary.AppendUvarint(out, uint64(d.Index))
+	case code.TDRef:
+		out = encodeDesc(out, d.Args[0])
+	case code.TDTuple:
+		out = binary.AppendUvarint(out, uint64(len(d.Args)))
+		for _, a := range d.Args {
+			out = encodeDesc(out, a)
+		}
+	case code.TDData:
+		out = binary.AppendUvarint(out, uint64(d.Index))
+		out = binary.AppendUvarint(out, uint64(len(d.Args)))
+		for _, a := range d.Args {
+			out = encodeDesc(out, a)
+		}
+	case code.TDArrow:
+		out = encodeDesc(out, d.Args[0])
+		out = encodeDesc(out, d.Args[1])
+	}
+	return out
+}
+
+// interpTraceFrame decodes a site descriptor and traces the frame's slots.
+func (c *Collector) interpTraceFrame(buf []byte, stack []code.Word, base int, targs []TypeGC) {
+	r := &descReader{buf: buf}
+	n := r.uvarint()
+	for i := 0; i < n; i++ {
+		slot := r.uvarint()
+		g := c.decodeDesc(r, targs)
+		stack[base+slot] = g.Trace(c, stack[base+slot])
+		c.Stats.SlotsTraced++
+	}
+	c.Stats.DescBytesDecoded += int64(len(buf))
+}
+
+type descReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *descReader) uvarint() int {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		panic("gc: malformed frame descriptor")
+	}
+	r.pos += n
+	return int(v)
+}
+
+// decodeDesc interprets one descriptor, building the (memoized) routine.
+func (c *Collector) decodeDesc(r *descReader, targs []TypeGC) TypeGC {
+	kind := code.TDKind(r.uvarint())
+	switch kind {
+	case code.TDConst, code.TDOpaque:
+		return c.b.Const()
+	case code.TDVar:
+		idx := r.uvarint()
+		if idx < len(targs) && targs[idx] != nil {
+			return targs[idx]
+		}
+		return c.b.Const()
+	case code.TDRef:
+		return c.b.Ref(c.decodeDesc(r, targs))
+	case code.TDTuple:
+		n := r.uvarint()
+		fields := make([]TypeGC, n)
+		for i := range fields {
+			fields[i] = c.decodeDesc(r, targs)
+		}
+		return c.b.Tuple(fields)
+	case code.TDData:
+		idx := r.uvarint()
+		n := r.uvarint()
+		args := make([]TypeGC, n)
+		for i := range args {
+			args[i] = c.decodeDesc(r, targs)
+		}
+		return c.b.Data(idx, c.Prog.Data[idx], args)
+	case code.TDArrow:
+		dom := c.decodeDesc(r, targs)
+		cod := c.decodeDesc(r, targs)
+		return c.b.Arrow(dom, cod)
+	}
+	panic("gc: unknown descriptor kind in frame map")
+}

@@ -1,0 +1,299 @@
+// Package heap implements the simulated heap: a flat word array split into
+// two semispaces for copying collection.
+//
+// The reproduction cannot observe a real process heap (the Go runtime's own
+// collector interferes), so all MinML objects live in this array and all
+// "pointers" are indexes offset by code.HeapBase. Two object formats are
+// supported:
+//
+//   - Tag-free (the paper's design): an object is exactly its fields; there
+//     are no headers. Object extents come from the compiler-generated GC
+//     metadata that drives the collector. Forwarding during copying uses a
+//     side table indexed by from-space offset (a real implementation would
+//     overwrite the first field and detect to-space addresses; the side
+//     table is equivalent and keeps the simulation honest about not needing
+//     in-object bits).
+//   - Tagged (the baseline): every object carries one header word encoding
+//     its length, and the collector relies on per-word tags. Forwarding
+//     overwrites the header with a broken-heart pointer (headers are odd,
+//     pointers even).
+//
+// The heap never triggers collection itself: the abstract machine checks
+// Need before allocating and runs a collector at a safe point, matching the
+// paper's "collection can only be initiated by a call to an allocating
+// procedure" discipline (§2.1).
+package heap
+
+import (
+	"fmt"
+
+	"tagfree/internal/code"
+)
+
+// Stats counts heap activity for the experiment harness.
+type Stats struct {
+	// Allocations is the number of objects allocated.
+	Allocations int64
+	// WordsAllocated counts all words ever allocated (headers included).
+	WordsAllocated int64
+	// Collections is the number of garbage collections run.
+	Collections int64
+	// WordsCopied counts words copied by all collections.
+	WordsCopied int64
+	// LiveAfterLastGC is the resident size after the last collection.
+	LiveAfterLastGC int64
+	// PeakLive is the maximum resident size observed after any collection.
+	PeakLive int64
+}
+
+// Heap is a garbage-collected heap over a flat word array: a semispace
+// copying heap by default, or a mark/sweep heap (see marksweep.go).
+type Heap struct {
+	Repr code.Repr
+	kind GCKind
+	mem  []code.Word
+	semi int
+	// fromOff and toOff are the base mem indexes of the two spaces.
+	fromOff, toOff int
+	alloc, limit   int
+	// forward is the tag-free side forwarding table (from-space offsets to
+	// to-space absolute indexes; -1 = not forwarded). Its storage is
+	// bookkeeping of the collector, not program memory, and is excluded
+	// from all space accounting.
+	forward []int
+	inGC    bool
+	// Mark/sweep side metadata (see marksweep.go): per-object sizes at
+	// their start offsets, mark bits, exact-size free lists, and the sizes
+	// of swept gaps awaiting reuse.
+	objSize []int32
+	marks   []bool
+	free    map[int][]int
+	gapSize []int32
+	// debugAccess validates every field access against the mark/sweep
+	// allocation map (tests only).
+	debugAccess bool
+	// poison overwrites freed blocks with PoisonWord during sweeps.
+	poison bool
+	Stats  Stats
+}
+
+// New creates a heap with the given semispace size in words.
+func New(repr code.Repr, semiWords int) *Heap {
+	h := &Heap{
+		Repr:    repr,
+		mem:     make([]code.Word, 2*semiWords),
+		semi:    semiWords,
+		fromOff: 0,
+		toOff:   semiWords,
+		alloc:   0,
+		limit:   semiWords,
+	}
+	if repr == code.ReprTagFree {
+		h.forward = make([]int, semiWords)
+		for i := range h.forward {
+			h.forward[i] = -1
+		}
+	}
+	return h
+}
+
+// SemiWords returns the semispace size.
+func (h *Heap) SemiWords() int { return h.semi }
+
+// Used returns the words currently allocated in the active space.
+func (h *Heap) Used() int { return h.alloc - h.fromOff }
+
+// Need reports whether allocating n object words (plus a header in tagged
+// mode) requires a collection first.
+func (h *Heap) Need(n int) bool {
+	if h.kind == MarkSweep {
+		return !h.msCanAlloc(h.objWords(n))
+	}
+	return h.alloc+h.objWords(n) > h.limit
+}
+
+func (h *Heap) objWords(fields int) int {
+	if h.Repr == code.ReprTagged {
+		return fields + 1
+	}
+	return fields
+}
+
+// Alloc allocates an object with n fields and returns its encoded pointer.
+// The caller must have ensured space (Need returned false, possibly after a
+// collection). Fields are uninitialized; in tagged mode the header is
+// written.
+func (h *Heap) Alloc(n int) code.Word {
+	total := h.objWords(n)
+	if h.kind == MarkSweep {
+		return h.msAlloc(total)
+	}
+	if h.alloc+total > h.limit {
+		panic(&OutOfMemoryError{Requested: total, Free: h.limit - h.alloc})
+	}
+	base := h.alloc
+	h.alloc += total
+	h.Stats.Allocations++
+	h.Stats.WordsAllocated += int64(total)
+	if h.Repr == code.ReprTagged {
+		h.mem[base] = code.Word(n)<<1 | 1 // odd header: field count
+	}
+	return code.EncodePtr(h.Repr, code.HeapBase+base)
+}
+
+// OutOfMemoryError reports heap exhaustion that a collection did not cure.
+type OutOfMemoryError struct {
+	Requested, Free int
+}
+
+// Error implements the error interface.
+func (e *OutOfMemoryError) Error() string {
+	return fmt.Sprintf("heap exhausted: need %d words, %d free", e.Requested, e.Free)
+}
+
+// addrIndex converts an encoded pointer to a mem index.
+func (h *Heap) addrIndex(ptr code.Word) int {
+	return code.DecodePtr(h.Repr, ptr) - code.HeapBase
+}
+
+// fieldBase returns the mem index of field 0.
+func (h *Heap) fieldBase(ptr code.Word) int {
+	base := h.addrIndex(ptr)
+	if h.Repr == code.ReprTagged {
+		return base + 1
+	}
+	return base
+}
+
+// Field reads field i of an object.
+func (h *Heap) Field(ptr code.Word, i int) code.Word {
+	if h.debugAccess {
+		h.checkAccess(ptr, i)
+	}
+	return h.mem[h.fieldBase(ptr)+i]
+}
+
+// SetField writes field i of an object.
+func (h *Heap) SetField(ptr code.Word, i int, v code.Word) {
+	h.mem[h.fieldBase(ptr)+i] = v
+}
+
+// ObjLen returns a tagged object's field count from its header.
+func (h *Heap) ObjLen(ptr code.Word) int {
+	if h.Repr != code.ReprTagged {
+		panic("ObjLen: tag-free objects have no header")
+	}
+	return int(h.mem[h.addrIndex(ptr)] >> 1)
+}
+
+// ---------------------------------------------------------------------------
+// Collection support.
+// ---------------------------------------------------------------------------
+
+// BeginGC flips allocation into to-space. Collectors then forward roots via
+// Forward*/Copy and finish with EndGC.
+func (h *Heap) BeginGC() {
+	if h.inGC {
+		panic("BeginGC: collection already in progress")
+	}
+	h.inGC = true
+	h.Stats.Collections++
+	if h.kind == MarkSweep {
+		return // marking happens in place; nothing to flip
+	}
+	h.alloc = h.toOff
+	h.limit = h.toOff + h.semi
+}
+
+// EndGC completes the flip: to-space becomes the active space.
+func (h *Heap) EndGC() {
+	if !h.inGC {
+		panic("EndGC: no collection in progress")
+	}
+	h.inGC = false
+	if h.kind == MarkSweep {
+		h.msEndGC()
+		return
+	}
+	h.fromOff, h.toOff = h.toOff, h.fromOff
+	live := int64(h.alloc - h.fromOff)
+	h.Stats.LiveAfterLastGC = live
+	if live > h.Stats.PeakLive {
+		h.Stats.PeakLive = live
+	}
+	if h.forward != nil {
+		for i := range h.forward {
+			h.forward[i] = -1
+		}
+	}
+}
+
+// InGC reports whether a collection is in progress.
+func (h *Heap) InGC() bool { return h.inGC }
+
+// Forwarded looks up a tag-free object's forwarding address; ok is false
+// when the object has not been copied yet.
+func (h *Heap) Forwarded(ptr code.Word) (code.Word, bool) {
+	off := h.addrIndex(ptr) - h.fromOff
+	if h.Repr == code.ReprTagFree {
+		if h.forward[off] < 0 {
+			return 0, false
+		}
+		return code.EncodePtr(h.Repr, code.HeapBase+h.forward[off]), true
+	}
+	// Tagged: broken heart replaces the (odd) header with the (even) new
+	// pointer.
+	hdr := h.mem[h.fromOff+off]
+	if hdr&1 == 1 {
+		return 0, false
+	}
+	return hdr, true
+}
+
+// ScanToSpace performs a Cheney scan during a tagged-mode collection:
+// every field word of every object copied so far is passed through trace
+// (which may copy further objects, growing the scan frontier). Object
+// extents come from headers; only tagged heaps can do this without
+// compiler metadata.
+func (h *Heap) ScanToSpace(trace func(code.Word) code.Word) {
+	if h.Repr != code.ReprTagged {
+		panic("ScanToSpace: requires tagged headers")
+	}
+	if !h.inGC {
+		panic("ScanToSpace: no collection in progress")
+	}
+	scan := h.toOff
+	for scan < h.alloc {
+		n := int(h.mem[scan] >> 1)
+		for i := 1; i <= n; i++ {
+			h.mem[scan+i] = trace(h.mem[scan+i])
+		}
+		scan += 1 + n
+	}
+}
+
+// CopyObject copies an n-field object into to-space during a collection,
+// records its forwarding, and returns the new encoded pointer. Field
+// contents are copied verbatim; the collector re-traces them via Field on
+// the new pointer (Cheney-style or recursive, its choice).
+func (h *Heap) CopyObject(ptr code.Word, n int) code.Word {
+	if !h.inGC {
+		panic("CopyObject: no collection in progress")
+	}
+	total := h.objWords(n)
+	if h.alloc+total > h.limit {
+		panic(&OutOfMemoryError{Requested: total, Free: h.limit - h.alloc})
+	}
+	oldBase := h.addrIndex(ptr)
+	newBase := h.alloc
+	h.alloc += total
+	copy(h.mem[newBase:newBase+total], h.mem[oldBase:oldBase+total])
+	h.Stats.WordsCopied += int64(total)
+	newPtr := code.EncodePtr(h.Repr, code.HeapBase+newBase)
+	if h.Repr == code.ReprTagFree {
+		h.forward[oldBase-h.fromOff] = newBase
+	} else {
+		h.mem[oldBase] = newPtr // broken heart (even)
+	}
+	return newPtr
+}

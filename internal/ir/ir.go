@@ -1,0 +1,734 @@
+// Package ir defines the compiler's intermediate representation.
+//
+// The IR is a typed A-normal form: every intermediate value is bound to a
+// numbered slot, every operand is an atom (constant or slot reference), and
+// control flow is a tree of conditionals with explicit join points. Slots
+// are assigned exactly once (join destinations are assigned once per branch),
+// which keeps liveness analysis simple and makes per-call-site stack maps —
+// the heart of Goldberg's tag-free collection — easy to derive.
+//
+// Functions are closure-converted: a lifted function receives its closure
+// environment as slot 0 and reaches captured values through explicit field
+// loads. Every function records its type environment (the quantified type
+// variables its slot types mention); call sites record the instantiation of
+// the callee's type environment, which is exactly the information the
+// paper's parameterized frame_gc_routines pass along the stack during
+// collection (§3).
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"tagfree/internal/mlang/ast"
+	"tagfree/internal/mlang/types"
+)
+
+// ---------------------------------------------------------------------------
+// Program structure.
+// ---------------------------------------------------------------------------
+
+// Program is a closure-converted, ANF-lowered compilation unit.
+type Program struct {
+	Funcs []*Func
+	// Globals are top-level non-function bindings, initialized in order by
+	// the synthetic init function before main runs.
+	Globals []*Global
+	// InitFunc computes and stores all globals; it is the program entry.
+	InitFunc *Func
+	// MainFunc is the user's main function (type unit -> τ).
+	MainFunc *Func
+	// Strings is the constant pool for string literals (deduplicated).
+	Strings []string
+	// Datatypes carries the checker's datatype table.
+	Datatypes map[string]*types.Data
+}
+
+// Global is a top-level value binding slot.
+type Global struct {
+	Idx  int
+	Name string
+	// Type is the binding's type. Quantified variables occurring in it are
+	// traced as non-pointers: by parametricity a value inhabiting a type
+	// that is polymorphic in 'a cannot hold an 'a-typed pointer reachable
+	// only through 'a positions.
+	Type types.Type
+}
+
+// TypeSource says where a function's frame GC routine obtains the
+// type_gc_routines for its type environment during collection.
+type TypeSource int
+
+const (
+	// TypeSourceNone: the function has an empty type environment.
+	TypeSourceNone TypeSource = iota
+	// TypeSourceCallSite: the caller's frame_gc_routine passes the type
+	// arguments, following the paper's oldest→newest stack walk (§3).
+	TypeSourceCallSite
+	// TypeSourceEnv: the function is closure-called; its environment object
+	// (slot 0) stores type-rep handles recorded at closure creation. This
+	// is the extension required for escaping polymorphic-capture closures,
+	// which the paper's stack-only protocol cannot reconstruct.
+	TypeSourceEnv
+)
+
+// Func is a lowered function.
+type Func struct {
+	ID   int
+	Name string
+	// Parent is the lexically enclosing function for lifted closures (nil
+	// for top-level functions). A closure's non-own type variables must be
+	// visible in its parent's type environment.
+	Parent *Func
+	// NParams counts leading parameter slots, including the environment
+	// slot when HasEnv is set (the environment is always slot 0).
+	NParams int
+	HasEnv  bool
+	// Slots holds parameters first, then locals, indexed by Slot.Idx.
+	Slots []*Slot
+	Body  Expr
+	// Captures describes the closure environment layout (empty for
+	// functions that are only called directly).
+	Captures []CaptureInfo
+	// TypeEnv lists the quantified type variables the function's slot,
+	// capture and instantiation types mention; frame GC routines are
+	// parameterized by one type_gc_routine per entry.
+	TypeEnv []*types.Var
+	// TypeSource says how the GC obtains TypeEnv bindings for a frame.
+	TypeSource TypeSource
+	// NeedsReps is set when the function must receive runtime type-rep
+	// handles as hidden trailing arguments (it creates polymorphic-capture
+	// closures, directly or transitively). Computed by the reps analysis.
+	NeedsReps bool
+	// OwnVars is the length of the TypeEnv prefix quantified by this
+	// function's own binding scheme; the rest come from enclosing scopes.
+	OwnVars int
+	// TypeDerivs, for closure-called functions, gives for each TypeEnv
+	// entry the path at which the variable occurs in the function's own
+	// arrow type (derivable at GC time from the call-site type package), or
+	// nil when the variable is phantom and must be stored as a type-rep
+	// word in the closure. Computed by the reps analysis.
+	TypeDerivs []TypePath
+	// RepWord, for each TypeEnv entry, is the index of its type-rep word
+	// in the closure layout, or -1 when not stored. Stored entries are
+	// those with nil derivation plus those the body needs at run time.
+	RepWord []int
+	// NumRepWords is the number of type-rep words in the closure layout.
+	NumRepWords int
+	// RuntimeNeeded marks TypeEnv entries whose type-rep handle the body
+	// needs at run time (to build reps for closures it creates or to pass
+	// to rep-needing callees).
+	RuntimeNeeded []bool
+	// RetType is the function's return type.
+	RetType types.Type
+	// NumCallSites is the number of call/allocation sites, assigned during
+	// lowering; each gets a gc_word in the generated code.
+	NumCallSites int
+}
+
+// PathKind is a step kind in a type derivation path.
+type PathKind int
+
+// Path step kinds.
+const (
+	PathDom  PathKind = iota // function domain
+	PathCod                  // function codomain
+	PathElem                 // tuple element or type-constructor argument (Index)
+)
+
+// PathStep is one step of a TypePath.
+type PathStep struct {
+	Kind  PathKind
+	Index int
+}
+
+// TypePath locates a type variable inside a function's arrow type; the
+// collector follows it through the structured type_gc_routine package a
+// closure call site provides (paper Figures 3 and 4).
+type TypePath []PathStep
+
+// FindPath returns a path to the first occurrence of v inside t, or nil.
+func FindPath(t types.Type, v *types.Var) TypePath {
+	switch t := types.Resolve(t).(type) {
+	case *types.Var:
+		if t == v {
+			return TypePath{}
+		}
+	case *types.Arrow:
+		if p := FindPath(t.Dom, v); p != nil {
+			return append(TypePath{{Kind: PathDom}}, p...)
+		}
+		if p := FindPath(t.Cod, v); p != nil {
+			return append(TypePath{{Kind: PathCod}}, p...)
+		}
+	case *types.TupleT:
+		for i, e := range t.Elems {
+			if p := FindPath(e, v); p != nil {
+				return append(TypePath{{Kind: PathElem, Index: i}}, p...)
+			}
+		}
+	case *types.Con:
+		for i, a := range t.Args {
+			if p := FindPath(a, v); p != nil {
+				return append(TypePath{{Kind: PathElem, Index: i}}, p...)
+			}
+		}
+	}
+	return nil
+}
+
+// Slot is a parameter or local variable of a function.
+type Slot struct {
+	Idx  int
+	Name string
+	Type types.Type
+	// IsEnv marks the closure environment parameter (slot 0 of lifted
+	// functions); it is traced through the closure's own layout.
+	IsEnv bool
+}
+
+// CaptureInfo describes one captured value in a closure environment.
+type CaptureInfo struct {
+	Name string
+	Type types.Type
+}
+
+// TypeEnvIndex returns the index of v in the function's type environment,
+// or -1.
+func (f *Func) TypeEnvIndex(v *types.Var) int {
+	for i, tv := range f.TypeEnv {
+		if tv == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---------------------------------------------------------------------------
+// Atoms.
+// ---------------------------------------------------------------------------
+
+// Atom is a trivial operand: evaluating it cannot allocate, call, or fail.
+type Atom interface {
+	atom()
+	// Type returns the atom's semantic type.
+	Type() types.Type
+}
+
+// ConstKind distinguishes the unboxed constants.
+type ConstKind int
+
+// Unboxed constant kinds.
+const (
+	ConstInt ConstKind = iota
+	ConstBool
+	ConstUnit
+)
+
+// AConst is an unboxed constant.
+type AConst struct {
+	Kind ConstKind
+	Val  int64
+}
+
+// ASlot reads a slot.
+type ASlot struct{ Slot *Slot }
+
+// AGlobal reads a global.
+type AGlobal struct{ Global *Global }
+
+// ANullCtor is a nullary datatype constructor constant (represented
+// unboxed by its nullary tag).
+type ANullCtor struct {
+	Ctor *types.CtorInfo
+	// Inst instantiates the datatype's parameters at this occurrence.
+	Inst []types.Type
+}
+
+// AStr is a string constant (an index into the immortal constant pool).
+type AStr struct{ Index int }
+
+func (*AConst) atom()    {}
+func (*ASlot) atom()     {}
+func (*AGlobal) atom()   {}
+func (*ANullCtor) atom() {}
+func (*AStr) atom()      {}
+
+// Type returns int, bool or unit.
+func (a *AConst) Type() types.Type {
+	switch a.Kind {
+	case ConstInt:
+		return types.Int
+	case ConstBool:
+		return types.Bool
+	default:
+		return types.Unit
+	}
+}
+
+// Type returns the slot's type.
+func (a *ASlot) Type() types.Type { return a.Slot.Type }
+
+// Type returns the global's type.
+func (a *AGlobal) Type() types.Type { return a.Global.Type }
+
+// Type returns the constructed datatype.
+func (a *ANullCtor) Type() types.Type {
+	return &types.Con{Name: a.Ctor.Data.Name, Args: a.Inst, Data: a.Ctor.Data}
+}
+
+// Type returns string.
+func (a *AStr) Type() types.Type { return types.String }
+
+// ---------------------------------------------------------------------------
+// Right-hand sides (computations bound by ELet).
+// ---------------------------------------------------------------------------
+
+// Rhs is a computation whose result is bound to a slot.
+type Rhs interface {
+	rhs()
+	// CanAllocate reports whether executing this computation may trigger a
+	// garbage collection (it allocates or calls something that might).
+	// Calls are refined later by the GC-possible analysis.
+	CanAllocate() bool
+}
+
+// RAtom moves an atom into a slot.
+type RAtom struct{ A Atom }
+
+// RPrim applies a primitive operator (arithmetic, comparison, boolean,
+// pointer discrimination, tag read). Never allocates.
+type RPrim struct {
+	Op   PrimOp
+	Args []Atom
+}
+
+// RRef allocates a reference cell.
+type RRef struct {
+	Init Atom
+	Site int // call-site id
+	Elem types.Type
+}
+
+// RDeref loads a reference cell.
+type RDeref struct{ Ref Atom }
+
+// RAssign stores into a reference cell; the bound value is unit.
+type RAssign struct{ Ref, Val Atom }
+
+// RTuple allocates a tuple.
+type RTuple struct {
+	Elems []Atom
+	Site  int
+	Types []types.Type
+}
+
+// RCtor allocates a boxed datatype constructor application (nullary
+// constructors are ANullCtor atoms instead).
+type RCtor struct {
+	Ctor *types.CtorInfo
+	Inst []types.Type
+	Args []Atom
+	Site int
+}
+
+// RField loads a field of a boxed value: a tuple element, a constructor
+// field, or a closure capture.
+type RField struct {
+	Obj   Atom
+	Index int
+	// FromCtor, when non-nil, says the object is a boxed constructor value
+	// of this constructor (the load offset accounts for a discriminant word
+	// when the datatype needs one).
+	FromCtor *types.CtorInfo
+	// FromCapture marks loads of closure captures through the environment
+	// slot (the load offset accounts for the code-pointer word and any
+	// type-rep words).
+	FromCapture bool
+	// ResultType is the loaded value's type.
+	ResultType types.Type
+}
+
+// RClosure allocates a closure for a lifted function.
+type RClosure struct {
+	Target   *Func
+	Captures []Atom
+	// Inst instantiates Target.TypeEnv at this creation site. When Target's
+	// TypeSource is TypeSourceEnv these become stored type-rep handles.
+	Inst []types.Type
+	Site int
+	// SelfCapture is the index into Captures whose value is the closure
+	// itself (recursive closures); -1 when absent. The creation site stores
+	// the new closure's own address there.
+	SelfCapture int
+}
+
+// RCall is a direct call to a known function.
+type RCall struct {
+	Callee *Func
+	Args   []Atom
+	// Inst instantiates Callee.TypeEnv, expressed over the caller's type
+	// environment; the frame_gc_routine for this site passes the
+	// corresponding type_gc_routines during collection (§3).
+	Inst []types.Type
+	Site int
+	// CanGC is refined by the GC-possible analysis; until then true.
+	CanGC bool
+}
+
+// RCallClos calls a closure with one argument.
+type RCallClos struct {
+	Clos Atom
+	Arg  Atom
+	Site int
+	// CanGC is refined by the higher-order (0-CFA) GC-possible analysis;
+	// conservatively true until then.
+	CanGC bool
+	// RetType is the call's result type.
+	RetType types.Type
+	// SiteType is the closure's static type at this call site, after
+	// instantiation (the checker's type of the applied expression). The
+	// frame_gc_routine for this site builds the callee's type package from
+	// it — the paper's Figure 4 closure-typed type_gc_routine.
+	SiteType types.Type
+}
+
+// RSetGlobal stores a value into a global (used by the init function).
+type RSetGlobal struct {
+	Global *Global
+	Val    Atom
+}
+
+// RPatchCapture overwrites a capture field of an already-allocated closure.
+// It is emitted only for mutually recursive local closures, whose forward
+// references are created as null and patched once every member of the group
+// exists. The bound value is unit. Target identifies the closure's function
+// (its layout decides the capture's field offset).
+type RPatchCapture struct {
+	Clos   Atom
+	Index  int
+	Val    Atom
+	Target *Func
+}
+
+// RBuiltin invokes a runtime builtin (print_int etc.). Never allocates.
+type RBuiltin struct {
+	Name string
+	Args []Atom
+}
+
+func (*RAtom) rhs()         {}
+func (*RPrim) rhs()         {}
+func (*RRef) rhs()          {}
+func (*RDeref) rhs()        {}
+func (*RAssign) rhs()       {}
+func (*RTuple) rhs()        {}
+func (*RCtor) rhs()         {}
+func (*RField) rhs()        {}
+func (*RClosure) rhs()      {}
+func (*RCall) rhs()         {}
+func (*RCallClos) rhs()     {}
+func (*RBuiltin) rhs()      {}
+func (*RSetGlobal) rhs()    {}
+func (*RPatchCapture) rhs() {}
+
+// CanAllocate implementations.
+func (*RAtom) CanAllocate() bool         { return false }
+func (*RPrim) CanAllocate() bool         { return false }
+func (*RRef) CanAllocate() bool          { return true }
+func (*RDeref) CanAllocate() bool        { return false }
+func (*RAssign) CanAllocate() bool       { return false }
+func (*RTuple) CanAllocate() bool        { return true }
+func (*RCtor) CanAllocate() bool         { return true }
+func (*RField) CanAllocate() bool        { return false }
+func (*RClosure) CanAllocate() bool      { return true }
+func (r *RCall) CanAllocate() bool       { return r.CanGC }
+func (r *RCallClos) CanAllocate() bool   { return r.CanGC }
+func (*RBuiltin) CanAllocate() bool      { return false }
+func (*RSetGlobal) CanAllocate() bool    { return false }
+func (*RPatchCapture) CanAllocate() bool { return false }
+
+// PrimOp enumerates IR primitives. It extends the surface operators with
+// the representation-level tests the pattern-match compiler emits.
+type PrimOp int
+
+// IR primitive operators.
+const (
+	PAdd PrimOp = iota
+	PSub
+	PMul
+	PDiv
+	PMod
+	PNeg
+	PEq
+	PNe
+	PLt
+	PLe
+	PGt
+	PGe
+	PNot
+	// PIsBoxed tests whether a datatype value is a boxed (pointer)
+	// representation rather than an unboxed nullary constructor.
+	PIsBoxed
+	// PTagIs tests the discriminant word of a boxed constructor value
+	// against the immediate in Args[1] (an AConst).
+	PTagIs
+)
+
+var primNames = map[PrimOp]string{
+	PAdd: "add", PSub: "sub", PMul: "mul", PDiv: "div", PMod: "mod",
+	PNeg: "neg", PEq: "eq", PNe: "ne", PLt: "lt", PLe: "le", PGt: "gt",
+	PGe: "ge", PNot: "not", PIsBoxed: "is_boxed", PTagIs: "tag_is",
+}
+
+// String returns the primitive's mnemonic.
+func (op PrimOp) String() string {
+	if s, ok := primNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("prim(%d)", int(op))
+}
+
+// PrimFromAST converts a surface arithmetic/comparison operator.
+func PrimFromAST(op ast.PrimOp) PrimOp {
+	switch op {
+	case ast.OpAdd:
+		return PAdd
+	case ast.OpSub:
+		return PSub
+	case ast.OpMul:
+		return PMul
+	case ast.OpDiv:
+		return PDiv
+	case ast.OpMod:
+		return PMod
+	case ast.OpNeg:
+		return PNeg
+	case ast.OpEq:
+		return PEq
+	case ast.OpNe:
+		return PNe
+	case ast.OpLt:
+		return PLt
+	case ast.OpLe:
+		return PLe
+	case ast.OpGt:
+		return PGt
+	case ast.OpGe:
+		return PGe
+	case ast.OpNot:
+		return PNot
+	}
+	panic(fmt.Sprintf("PrimFromAST: no direct IR primitive for %v", op))
+}
+
+// ---------------------------------------------------------------------------
+// Expression trees.
+// ---------------------------------------------------------------------------
+
+// Expr is a statement tree. Every path through a function body ends in ERet;
+// branches of an ECond end in EJoin, which assigns the conditional's
+// destination and transfers control to the continuation.
+type Expr interface {
+	expr()
+}
+
+// ERet returns from the function.
+type ERet struct{ A Atom }
+
+// ELet binds the result of a computation and continues.
+type ELet struct {
+	Dst  *Slot
+	Rhs  Rhs
+	Cont Expr
+}
+
+// ECond evaluates Cond; both branch trees end in EJoin nodes that assign
+// Dst, after which control continues at Cont.
+//
+// An ECond with nil Dst and nil Cont *inherits* the join target of the
+// nearest enclosing ECond that has one: its branches' EJoin nodes assign
+// that conditional's destination and continue at its continuation. The
+// pattern-match lowering uses this for arm chains, where every arm's body
+// joins the same match result.
+type ECond struct {
+	Cond Atom
+	Dst  *Slot
+	Then Expr
+	Else Expr
+	Cont Expr
+}
+
+// EJoin ends an ECond branch: assign the conditional's Dst and continue at
+// its Cont.
+type EJoin struct{ A Atom }
+
+// EMatchFail aborts execution: no match arm applied.
+type EMatchFail struct{}
+
+func (*ERet) expr()       {}
+func (*ELet) expr()       {}
+func (*ECond) expr()      {}
+func (*EJoin) expr()      {}
+func (*EMatchFail) expr() {}
+
+// ---------------------------------------------------------------------------
+// Printing (debugging aid and golden-test surface).
+// ---------------------------------------------------------------------------
+
+// String renders the program for debugging.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "global %d %s : %s\n", g.Idx, g.Name, types.TypeString(g.Type))
+	}
+	for _, f := range p.Funcs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s#%d(", f.Name, f.ID)
+	for i := 0; i < f.NParams; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		s := f.Slots[i]
+		fmt.Fprintf(&b, "%s:%s", s.Name, types.TypeString(s.Type))
+	}
+	b.WriteString(")")
+	if len(f.TypeEnv) > 0 {
+		fmt.Fprintf(&b, " tyenv=%d src=%d", len(f.TypeEnv), f.TypeSource)
+	}
+	if f.NeedsReps {
+		b.WriteString(" reps")
+	}
+	b.WriteString(":\n")
+	writeExpr(&b, f.Body, 1)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch e := e.(type) {
+	case *ERet:
+		fmt.Fprintf(b, "%sret %s\n", ind, AtomString(e.A))
+	case *EJoin:
+		fmt.Fprintf(b, "%sjoin %s\n", ind, AtomString(e.A))
+	case *EMatchFail:
+		fmt.Fprintf(b, "%smatch_fail\n", ind)
+	case *ELet:
+		fmt.Fprintf(b, "%s%s = %s\n", ind, e.Dst.Name, RhsString(e.Rhs))
+		writeExpr(b, e.Cont, depth)
+	case *ECond:
+		dst := "tail"
+		if e.Dst != nil {
+			dst = e.Dst.Name
+		}
+		fmt.Fprintf(b, "%sif %s -> %s\n", ind, AtomString(e.Cond), dst)
+		writeExpr(b, e.Then, depth+1)
+		fmt.Fprintf(b, "%selse\n", ind)
+		writeExpr(b, e.Else, depth+1)
+		if e.Cont != nil {
+			writeExpr(b, e.Cont, depth)
+		}
+	}
+}
+
+// AtomString renders an atom.
+func AtomString(a Atom) string {
+	switch a := a.(type) {
+	case *AConst:
+		switch a.Kind {
+		case ConstBool:
+			if a.Val != 0 {
+				return "true"
+			}
+			return "false"
+		case ConstUnit:
+			return "()"
+		default:
+			return fmt.Sprint(a.Val)
+		}
+	case *ASlot:
+		return a.Slot.Name
+	case *AGlobal:
+		return "@" + a.Global.Name
+	case *ANullCtor:
+		return a.Ctor.Name
+	case *AStr:
+		return fmt.Sprintf("str#%d", a.Index)
+	}
+	return "?"
+}
+
+// RhsString renders a computation.
+func RhsString(r Rhs) string {
+	switch r := r.(type) {
+	case *RAtom:
+		return AtomString(r.A)
+	case *RPrim:
+		parts := make([]string, len(r.Args))
+		for i, a := range r.Args {
+			parts[i] = AtomString(a)
+		}
+		return fmt.Sprintf("%s(%s)", r.Op, strings.Join(parts, ", "))
+	case *RRef:
+		return fmt.Sprintf("ref(%s) @%d", AtomString(r.Init), r.Site)
+	case *RDeref:
+		return fmt.Sprintf("deref(%s)", AtomString(r.Ref))
+	case *RAssign:
+		return fmt.Sprintf("assign(%s, %s)", AtomString(r.Ref), AtomString(r.Val))
+	case *RTuple:
+		parts := make([]string, len(r.Elems))
+		for i, a := range r.Elems {
+			parts[i] = AtomString(a)
+		}
+		return fmt.Sprintf("tuple(%s) @%d", strings.Join(parts, ", "), r.Site)
+	case *RCtor:
+		parts := make([]string, len(r.Args))
+		for i, a := range r.Args {
+			parts[i] = AtomString(a)
+		}
+		return fmt.Sprintf("%s(%s) @%d", r.Ctor.Name, strings.Join(parts, ", "), r.Site)
+	case *RField:
+		src := ""
+		if r.FromCapture {
+			src = " capture"
+		} else if r.FromCtor != nil {
+			src = " of " + r.FromCtor.Name
+		}
+		return fmt.Sprintf("field %d%s of %s", r.Index, src, AtomString(r.Obj))
+	case *RClosure:
+		parts := make([]string, len(r.Captures))
+		for i, a := range r.Captures {
+			parts[i] = AtomString(a)
+		}
+		return fmt.Sprintf("closure %s[%s] @%d", r.Target.Name, strings.Join(parts, ", "), r.Site)
+	case *RCall:
+		parts := make([]string, len(r.Args))
+		for i, a := range r.Args {
+			parts[i] = AtomString(a)
+		}
+		gc := ""
+		if !r.CanGC {
+			gc = " nogc"
+		}
+		return fmt.Sprintf("call %s(%s) @%d%s", r.Callee.Name, strings.Join(parts, ", "), r.Site, gc)
+	case *RCallClos:
+		return fmt.Sprintf("callc %s(%s) @%d", AtomString(r.Clos), AtomString(r.Arg), r.Site)
+	case *RBuiltin:
+		parts := make([]string, len(r.Args))
+		for i, a := range r.Args {
+			parts[i] = AtomString(a)
+		}
+		return fmt.Sprintf("builtin %s(%s)", r.Name, strings.Join(parts, ", "))
+	case *RSetGlobal:
+		return fmt.Sprintf("@%s := %s", r.Global.Name, AtomString(r.Val))
+	}
+	return "?"
+}

@@ -1,0 +1,63 @@
+package ir
+
+// WalkExprs visits every node of a body tree in preorder.
+func WalkExprs(body Expr, visit func(Expr)) {
+	if body == nil {
+		return
+	}
+	visit(body)
+	switch e := body.(type) {
+	case *ELet:
+		WalkExprs(e.Cont, visit)
+	case *ECond:
+		WalkExprs(e.Then, visit)
+		WalkExprs(e.Else, visit)
+		WalkExprs(e.Cont, visit)
+	}
+}
+
+// Rhss returns every computation in the function body, in preorder.
+func Rhss(f *Func) []Rhs {
+	var out []Rhs
+	WalkExprs(f.Body, func(e Expr) {
+		if let, ok := e.(*ELet); ok {
+			out = append(out, let.Rhs)
+		}
+	})
+	return out
+}
+
+// RhsAtoms returns the operand atoms of a computation.
+func RhsAtoms(r Rhs) []Atom {
+	switch r := r.(type) {
+	case *RAtom:
+		return []Atom{r.A}
+	case *RPrim:
+		return r.Args
+	case *RRef:
+		return []Atom{r.Init}
+	case *RDeref:
+		return []Atom{r.Ref}
+	case *RAssign:
+		return []Atom{r.Ref, r.Val}
+	case *RTuple:
+		return r.Elems
+	case *RCtor:
+		return r.Args
+	case *RField:
+		return []Atom{r.Obj}
+	case *RClosure:
+		return r.Captures
+	case *RCall:
+		return r.Args
+	case *RCallClos:
+		return []Atom{r.Clos, r.Arg}
+	case *RBuiltin:
+		return r.Args
+	case *RSetGlobal:
+		return []Atom{r.Val}
+	case *RPatchCapture:
+		return []Atom{r.Clos, r.Val}
+	}
+	return nil
+}

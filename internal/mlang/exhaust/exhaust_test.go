@@ -1,0 +1,225 @@
+package exhaust
+
+import (
+	"strings"
+	"testing"
+
+	"tagfree/internal/mlang/parser"
+	"tagfree/internal/mlang/types"
+)
+
+func check(t *testing.T, src string) []Warning {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("types: %v", err)
+	}
+	return Check(prog, info)
+}
+
+func wantWarning(t *testing.T, ws []Warning, substr string) {
+	t.Helper()
+	for _, w := range ws {
+		if strings.Contains(w.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no warning containing %q; got %v", substr, ws)
+}
+
+func wantClean(t *testing.T, ws []Warning) {
+	t.Helper()
+	if len(ws) != 0 {
+		t.Fatalf("unexpected warnings: %v", ws)
+	}
+}
+
+func TestExhaustiveList(t *testing.T) {
+	wantClean(t, check(t, `
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let main () = sum [1]
+`))
+}
+
+func TestMissingNilCase(t *testing.T) {
+	ws := check(t, `
+let head xs = match xs with | x :: _ -> x
+let main () = head [1]
+`)
+	wantWarning(t, ws, "not exhaustive")
+	wantWarning(t, ws, "[]")
+}
+
+func TestMissingConsCase(t *testing.T) {
+	ws := check(t, `
+let isnil xs = match xs with | [] -> true
+let main () = if isnil [1] then 1 else 0
+`)
+	wantWarning(t, ws, "not exhaustive")
+	wantWarning(t, ws, "::")
+}
+
+func TestMissingVariant(t *testing.T) {
+	ws := check(t, `
+type shape = Point | Circle of int | Rect of int * int
+let f s = match s with | Point -> 0 | Circle r -> r
+let main () = f Point
+`)
+	wantWarning(t, ws, "Rect")
+}
+
+func TestDeepMissing(t *testing.T) {
+	// Missing: Some (false).
+	ws := check(t, `
+type 'a opt = None | Some of 'a
+let f o = match o with | None -> 0 | Some true -> 1
+let main () = f None
+`)
+	wantWarning(t, ws, "Some (false)")
+}
+
+func TestRedundantArm(t *testing.T) {
+	ws := check(t, `
+let f xs = match xs with | [] -> 0 | _ -> 1 | x :: _ -> x
+let main () = f [1]
+`)
+	wantWarning(t, ws, "redundant")
+}
+
+func TestRedundantDuplicateCtor(t *testing.T) {
+	ws := check(t, `
+type t = A | B
+let f v = match v with | A -> 0 | B -> 1 | A -> 2
+let main () = f A
+`)
+	wantWarning(t, ws, "arm 3 is redundant")
+}
+
+func TestBoolComplete(t *testing.T) {
+	wantClean(t, check(t, `
+let f b = match b with | true -> 1 | false -> 0
+let main () = f true
+`))
+	ws := check(t, `
+let g b = match b with | true -> 1
+let main () = g true
+`)
+	wantWarning(t, ws, "false")
+}
+
+func TestIntsNeverExhaustive(t *testing.T) {
+	ws := check(t, `
+let f n = match n with | 0 -> 0 | 1 -> 1
+let main () = f 2
+`)
+	wantWarning(t, ws, "not exhaustive")
+	// The witness avoids the matched literals.
+	wantWarning(t, ws, "2")
+	wantClean(t, check(t, `
+let f n = match n with | 0 -> 0 | _ -> 1
+let main () = f 2
+`))
+}
+
+func TestTuplePatterns(t *testing.T) {
+	wantClean(t, check(t, `
+let f p = match p with | (a, b) -> a + b
+let main () = f (1, 2)
+`))
+	ws := check(t, `
+let g p = match p with | (true, x) -> x
+let main () = g (true, 1)
+`)
+	wantWarning(t, ws, "false")
+}
+
+func TestNestedMatchWalked(t *testing.T) {
+	// The inexhaustive match sits inside a lambda inside a let body.
+	ws := check(t, `
+let main () =
+  let f = fun xs -> (match xs with | x :: _ -> x) in
+  f [1]
+`)
+	wantWarning(t, ws, "not exhaustive")
+}
+
+func TestExhaustiveTree(t *testing.T) {
+	wantClean(t, check(t, `
+type tree = Leaf | Node of tree * int * tree
+let rec sum t = match t with | Leaf -> 0 | Node (l, v, r) -> sum l + v + sum r
+let main () = sum Leaf
+`))
+}
+
+func TestWildcardCoversEverything(t *testing.T) {
+	wantClean(t, check(t, `
+type shape = Point | Circle of int | Rect of int * int
+let f s = match s with | Circle r -> r | _ -> 0
+let main () = f Point
+`))
+}
+
+func TestUnitMatchComplete(t *testing.T) {
+	wantClean(t, check(t, `
+let f u = match u with | () -> 1
+let main () = f ()
+`))
+}
+
+func TestDeepTreeWitness(t *testing.T) {
+	// The missing case is two levels deep.
+	ws := check(t, `
+type tree = Leaf | Node of tree * int * tree
+let f t =
+  match t with
+  | Leaf -> 0
+  | Node (Leaf, v, _) -> v
+let main () = f Leaf
+`)
+	wantWarning(t, ws, "Node (Node")
+}
+
+func TestMixedLiteralAndCtor(t *testing.T) {
+	ws := check(t, `
+type 'a opt = None | Some of 'a
+let f o = match o with | Some 0 -> 0 | None -> 1
+let main () = f None
+`)
+	wantWarning(t, ws, "not exhaustive")
+}
+
+func TestNestedListsExhaustive(t *testing.T) {
+	wantClean(t, check(t, `
+let f xs =
+  match xs with
+  | [] -> 0
+  | [] :: _ -> 1
+  | (x :: _) :: _ -> x
+let main () = f [[1]]
+`))
+}
+
+func TestRedundancyAfterWildcardOnly(t *testing.T) {
+	ws := check(t, `
+let f n = match n with | _ -> 0 | 1 -> 1
+let main () = f 5
+`)
+	wantWarning(t, ws, "arm 2 is redundant")
+	// And a wildcard-first match is exhaustive: exactly one warning.
+	if len(ws) != 1 {
+		t.Fatalf("want exactly the redundancy warning, got %v", ws)
+	}
+}
+
+func TestTupleOfDatatypes(t *testing.T) {
+	ws := check(t, `
+type t = A | B
+let f p = match p with | (A, A) -> 0 | (B, B) -> 1
+let main () = f (A, A)
+`)
+	wantWarning(t, ws, "not exhaustive")
+}

@@ -1,0 +1,157 @@
+package lexer
+
+import (
+	"testing"
+
+	"tagfree/internal/mlang/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	l := New(src)
+	var out []token.Kind
+	for {
+		tok := l.Next()
+		out = append(out, tok.Kind)
+		if tok.Kind == token.EOF {
+			break
+		}
+	}
+	if errs := l.Errors(); len(errs) > 0 {
+		t.Fatalf("lexing %q: %v", src, errs[0])
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"let x = 1", []token.Kind{token.LET, token.IDENT, token.EQ, token.INT, token.EOF}},
+		{"x :: xs", []token.Kind{token.IDENT, token.CONS, token.IDENT, token.EOF}},
+		{"a := !b", []token.Kind{token.IDENT, token.ASSIGN, token.BANG, token.IDENT, token.EOF}},
+		{"(x : int)", []token.Kind{token.LPAREN, token.IDENT, token.COLON, token.IDENT, token.RPAREN, token.EOF}},
+		{"fun x -> x", []token.Kind{token.FUN, token.IDENT, token.ARROW, token.IDENT, token.EOF}},
+		{"a <> b <= c >= d < e > f", []token.Kind{
+			token.IDENT, token.NE, token.IDENT, token.LE, token.IDENT,
+			token.GE, token.IDENT, token.LT, token.IDENT, token.GT, token.IDENT, token.EOF}},
+		{"x && y || z", []token.Kind{token.IDENT, token.AMPAMP, token.IDENT, token.BARBAR, token.IDENT, token.EOF}},
+		{"[1; 2];;", []token.Kind{token.LBRACKET, token.INT, token.SEMI, token.INT, token.RBRACKET, token.SEMISEMI, token.EOF}},
+		{"'a list", []token.Kind{token.TYVAR, token.IDENT, token.EOF}},
+		{"_ | x", []token.Kind{token.UNDERSCORE, token.BAR, token.IDENT, token.EOF}},
+		{"10 mod 3", []token.Kind{token.INT, token.MOD, token.INT, token.EOF}},
+	}
+	for _, c := range cases {
+		got := kinds(t, c.src)
+		if len(got) != len(c.want) {
+			t.Fatalf("%q: got %v, want %v", c.src, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q token %d: got %v, want %v", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	l := New("lettuce let rec record")
+	t1, t2, t3, t4 := l.Next(), l.Next(), l.Next(), l.Next()
+	if t1.Kind != token.IDENT || t1.Text != "lettuce" {
+		t.Errorf("got %v, want IDENT(lettuce)", t1)
+	}
+	if t2.Kind != token.LET {
+		t.Errorf("got %v, want let", t2)
+	}
+	if t3.Kind != token.REC {
+		t.Errorf("got %v, want rec", t3)
+	}
+	if t4.Kind != token.IDENT || t4.Text != "record" {
+		t.Errorf("got %v, want IDENT(record)", t4)
+	}
+}
+
+func TestConstructorNames(t *testing.T) {
+	l := New("Some None Leaf2 x")
+	for _, want := range []token.Kind{token.CTOR, token.CTOR, token.CTOR, token.IDENT} {
+		tok := l.Next()
+		if tok.Kind != want {
+			t.Errorf("got %v, want %v", tok, want)
+		}
+	}
+}
+
+func TestNestedComments(t *testing.T) {
+	got := kinds(t, "1 (* outer (* inner *) still outer *) 2")
+	want := []token.Kind{token.INT, token.INT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	l := New("1 (* never ends")
+	l.Next()
+	l.Next()
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("let\n  x = 1")
+	tok := l.Next()
+	if tok.Pos.Line != 1 || tok.Pos.Col != 1 {
+		t.Errorf("let at %v, want 1:1", tok.Pos)
+	}
+	tok = l.Next()
+	if tok.Pos.Line != 2 || tok.Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", tok.Pos)
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	l := New(`"hi\n\"there\""`)
+	tok := l.Next()
+	if tok.Kind != token.STRING {
+		t.Fatalf("got %v, want STRING", tok)
+	}
+	if tok.Text != "hi\n\"there\"" {
+		t.Errorf("got %q", tok.Text)
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	l := New("x # y")
+	l.Next()
+	tok := l.Next()
+	if tok.Kind != token.ILLEGAL {
+		t.Fatalf("got %v, want ILLEGAL", tok)
+	}
+	if len(l.Errors()) == 0 {
+		t.Fatal("expected lexical error")
+	}
+}
+
+func TestEOFForever(t *testing.T) {
+	l := New("")
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tok)
+		}
+	}
+}
+
+func TestPrimedIdent(t *testing.T) {
+	// x' is a valid identifier; 'a is a type variable.
+	l := New("x' 'a")
+	t1 := l.Next()
+	if t1.Kind != token.IDENT || t1.Text != "x'" {
+		t.Errorf("got %v, want IDENT(x')", t1)
+	}
+	t2 := l.Next()
+	if t2.Kind != token.TYVAR || t2.Text != "a" {
+		t.Errorf("got %v, want TYVAR(a)", t2)
+	}
+}

@@ -1,0 +1,347 @@
+package parser
+
+import (
+	"testing"
+
+	"tagfree/internal/mlang/ast"
+)
+
+func mustExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func mustProg(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func TestArithPrecedence(t *testing.T) {
+	e := mustExpr(t, "1 + 2 * 3")
+	add, ok := e.(*ast.Prim)
+	if !ok || add.Op != ast.OpAdd {
+		t.Fatalf("got %#v, want top-level +", e)
+	}
+	mul, ok := add.Args[1].(*ast.Prim)
+	if !ok || mul.Op != ast.OpMul {
+		t.Fatalf("rhs: got %#v, want *", add.Args[1])
+	}
+}
+
+func TestApplicationBindsTighter(t *testing.T) {
+	e := mustExpr(t, "f x + g y")
+	add := e.(*ast.Prim)
+	if add.Op != ast.OpAdd {
+		t.Fatalf("want +, got %v", add.Op)
+	}
+	if _, ok := add.Args[0].(*ast.App); !ok {
+		t.Errorf("lhs should be application, got %#v", add.Args[0])
+	}
+	if _, ok := add.Args[1].(*ast.App); !ok {
+		t.Errorf("rhs should be application, got %#v", add.Args[1])
+	}
+}
+
+func TestCurriedApplication(t *testing.T) {
+	e := mustExpr(t, "f a b c")
+	// ((f a) b) c
+	app1 := e.(*ast.App)
+	app2 := app1.Fn.(*ast.App)
+	app3 := app2.Fn.(*ast.App)
+	if v, ok := app3.Fn.(*ast.Var); !ok || v.Name != "f" {
+		t.Fatalf("innermost fn: %#v", app3.Fn)
+	}
+}
+
+func TestConsRightAssoc(t *testing.T) {
+	e := mustExpr(t, "1 :: 2 :: []")
+	c := e.(*ast.Ctor)
+	if c.Name != "::" {
+		t.Fatalf("want ::, got %s", c.Name)
+	}
+	inner := c.Args[1].(*ast.Ctor)
+	if inner.Name != "::" {
+		t.Fatalf("rhs want ::, got %s", inner.Name)
+	}
+	if nilc := inner.Args[1].(*ast.Ctor); nilc.Name != "[]" {
+		t.Fatalf("tail want [], got %s", nilc.Name)
+	}
+}
+
+func TestListSugar(t *testing.T) {
+	e := mustExpr(t, "[1; 2; 3]")
+	count := 0
+	for {
+		c, ok := e.(*ast.Ctor)
+		if !ok {
+			t.Fatalf("not a ctor: %#v", e)
+		}
+		if c.Name == "[]" {
+			break
+		}
+		if c.Name != "::" {
+			t.Fatalf("want ::, got %s", c.Name)
+		}
+		count++
+		e = c.Args[1]
+	}
+	if count != 3 {
+		t.Fatalf("got %d conses, want 3", count)
+	}
+}
+
+func TestShortCircuitDesugar(t *testing.T) {
+	e := mustExpr(t, "a && b")
+	iff, ok := e.(*ast.If)
+	if !ok {
+		t.Fatalf("&& should desugar to if, got %#v", e)
+	}
+	if _, ok := iff.Else.(*ast.BoolLit); !ok {
+		t.Errorf("else branch should be false literal")
+	}
+
+	e = mustExpr(t, "a || b")
+	iff = e.(*ast.If)
+	if b, ok := iff.Then.(*ast.BoolLit); !ok || !b.Val {
+		t.Errorf("then branch should be true literal")
+	}
+}
+
+func TestSequencing(t *testing.T) {
+	e := mustExpr(t, "a; b; c")
+	s1 := e.(*ast.Seq)
+	if _, ok := s1.Rest.(*ast.Seq); !ok {
+		t.Fatalf("seq should be right-nested, got %#v", s1.Rest)
+	}
+}
+
+func TestFunMultiParam(t *testing.T) {
+	e := mustExpr(t, "fun x y -> x + y")
+	l1 := e.(*ast.Lam)
+	if l1.Param != "x" {
+		t.Fatalf("outer param %q", l1.Param)
+	}
+	l2 := l1.Body.(*ast.Lam)
+	if l2.Param != "y" {
+		t.Fatalf("inner param %q", l2.Param)
+	}
+}
+
+func TestLetIn(t *testing.T) {
+	e := mustExpr(t, "let x = 1 in x + x")
+	let := e.(*ast.Let)
+	if let.Rec || len(let.Binds) != 1 || let.Binds[0].Name != "x" {
+		t.Fatalf("bad let: %#v", let)
+	}
+}
+
+func TestLetRecAnd(t *testing.T) {
+	e := mustExpr(t, "let rec even n = if n = 0 then true else odd (n - 1) and odd n = if n = 0 then false else even (n - 1) in even 10")
+	let := e.(*ast.Let)
+	if !let.Rec || len(let.Binds) != 2 {
+		t.Fatalf("want rec with 2 binds, got %#v", let)
+	}
+	if _, ok := let.Binds[0].Expr.(*ast.Lam); !ok {
+		t.Errorf("function binding should desugar to lambda")
+	}
+}
+
+func TestMatchArms(t *testing.T) {
+	e := mustExpr(t, "match xs with | [] -> 0 | x :: rest -> x")
+	m := e.(*ast.Match)
+	if len(m.Arms) != 2 {
+		t.Fatalf("want 2 arms, got %d", len(m.Arms))
+	}
+	if c, ok := m.Arms[0].Pat.(*ast.PCtor); !ok || c.Name != "[]" {
+		t.Errorf("first arm should match []")
+	}
+	if c, ok := m.Arms[1].Pat.(*ast.PCtor); !ok || c.Name != "::" {
+		t.Errorf("second arm should match ::")
+	}
+}
+
+func TestTuplesAndUnit(t *testing.T) {
+	e := mustExpr(t, "(1, true, ())")
+	tup := e.(*ast.Tuple)
+	if len(tup.Elems) != 3 {
+		t.Fatalf("want 3 elems, got %d", len(tup.Elems))
+	}
+	if _, ok := tup.Elems[2].(*ast.UnitLit); !ok {
+		t.Errorf("third elem should be unit")
+	}
+}
+
+func TestRefOps(t *testing.T) {
+	e := mustExpr(t, "r := !r + 1")
+	asn := e.(*ast.Prim)
+	if asn.Op != ast.OpAssign {
+		t.Fatalf("want :=, got %v", asn.Op)
+	}
+	add := asn.Args[1].(*ast.Prim)
+	deref := add.Args[0].(*ast.Prim)
+	if deref.Op != ast.OpDeref {
+		t.Fatalf("want !, got %v", deref.Op)
+	}
+}
+
+func TestNegativeLiteral(t *testing.T) {
+	e := mustExpr(t, "-5")
+	lit, ok := e.(*ast.IntLit)
+	if !ok || lit.Val != -5 {
+		t.Fatalf("got %#v, want -5", e)
+	}
+}
+
+func TestAnnotation(t *testing.T) {
+	e := mustExpr(t, "(xs : int list)")
+	ann := e.(*ast.Ann)
+	name, ok := ann.Type.(*ast.TEName)
+	if !ok || name.Name != "list" {
+		t.Fatalf("got %#v, want int list", ann.Type)
+	}
+	if inner, ok := name.Args[0].(*ast.TEName); !ok || inner.Name != "int" {
+		t.Fatalf("element type: %#v", name.Args[0])
+	}
+}
+
+func TestTypeDecl(t *testing.T) {
+	p := mustProg(t, "type 'a tree = Leaf | Node of 'a tree * 'a * 'a tree")
+	td := p.Decls[0].(*ast.TypeDecl)
+	if td.Name != "tree" || len(td.Params) != 1 || td.Params[0] != "a" {
+		t.Fatalf("bad type decl header: %#v", td)
+	}
+	if len(td.Ctors) != 2 {
+		t.Fatalf("want 2 ctors, got %d", len(td.Ctors))
+	}
+	if td.Ctors[0].Name != "Leaf" || len(td.Ctors[0].Args) != 0 {
+		t.Errorf("Leaf should be nullary")
+	}
+	if td.Ctors[1].Name != "Node" || len(td.Ctors[1].Args) != 3 {
+		t.Errorf("Node should have 3 fields, got %d", len(td.Ctors[1].Args))
+	}
+}
+
+func TestMultiParamTypeDecl(t *testing.T) {
+	p := mustProg(t, "type ('a, 'b) pair = Pair of 'a * 'b")
+	td := p.Decls[0].(*ast.TypeDecl)
+	if len(td.Params) != 2 {
+		t.Fatalf("want 2 params, got %d", len(td.Params))
+	}
+}
+
+func TestTopLevelFunctionSugar(t *testing.T) {
+	p := mustProg(t, "let add x y = x + y")
+	vd := p.Decls[0].(*ast.ValDecl)
+	lam, ok := vd.Binds[0].Expr.(*ast.Lam)
+	if !ok {
+		t.Fatalf("binding should be a lambda")
+	}
+	if lam.Param != "x" {
+		t.Errorf("outer param %q", lam.Param)
+	}
+}
+
+func TestUnitParam(t *testing.T) {
+	p := mustProg(t, "let main () = 42")
+	vd := p.Decls[0].(*ast.ValDecl)
+	lam, ok := vd.Binds[0].Expr.(*ast.Lam)
+	if !ok {
+		t.Fatalf("main should be a lambda")
+	}
+	if lam.ParamAnn == nil {
+		t.Errorf("unit param should carry unit annotation")
+	}
+}
+
+func TestAnnotatedParam(t *testing.T) {
+	p := mustProg(t, "let f (x : int) = x")
+	vd := p.Decls[0].(*ast.ValDecl)
+	lam := vd.Binds[0].Expr.(*ast.Lam)
+	if lam.ParamAnn == nil {
+		t.Fatalf("param annotation missing")
+	}
+}
+
+func TestCtorApplication(t *testing.T) {
+	e := mustExpr(t, "Some (1, 2)")
+	c := e.(*ast.Ctor)
+	if c.Name != "Some" || len(c.Args) != 1 {
+		t.Fatalf("bad ctor: %#v", c)
+	}
+	if _, ok := c.Args[0].(*ast.Tuple); !ok {
+		t.Errorf("arg should be tuple (splatted later by checker)")
+	}
+}
+
+func TestBeginEnd(t *testing.T) {
+	e := mustExpr(t, "begin 1 + 2 end")
+	if _, ok := e.(*ast.Prim); !ok {
+		t.Fatalf("begin/end should be transparent, got %#v", e)
+	}
+}
+
+func TestIfInOperand(t *testing.T) {
+	e := mustExpr(t, "1 + if b then 2 else 3")
+	add := e.(*ast.Prim)
+	if _, ok := add.Args[1].(*ast.If); !ok {
+		t.Fatalf("rhs should be if, got %#v", add.Args[1])
+	}
+}
+
+func TestMatchListPattern(t *testing.T) {
+	e := mustExpr(t, "match p with | [x; y] -> x + y | _ -> 0")
+	m := e.(*ast.Match)
+	c := m.Arms[0].Pat.(*ast.PCtor)
+	if c.Name != "::" {
+		t.Fatalf("list pattern should desugar to ::")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"let = 3",
+		"if x then",
+		"match x with",
+		"fun -> x",
+		"(1, 2",
+		"let f x =",
+		"1 +",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			if _, err2 := Parse(src); err2 == nil {
+				t.Errorf("%q: expected syntax error", src)
+			}
+		}
+	}
+}
+
+func TestFullProgram(t *testing.T) {
+	src := `
+(* binary tree sum *)
+type tree = Leaf | Node of tree * int * tree
+
+let rec sum t =
+  match t with
+  | Leaf -> 0
+  | Node (l, v, r) -> sum l + v + sum r
+
+let rec build d =
+  if d = 0 then Leaf
+  else Node (build (d - 1), d, build (d - 1))
+
+let main () = sum (build 10)
+`
+	p := mustProg(t, src)
+	if len(p.Decls) != 4 {
+		t.Fatalf("want 4 decls, got %d", len(p.Decls))
+	}
+}

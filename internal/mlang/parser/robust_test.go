@@ -1,0 +1,60 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParserNeverPanics throws random byte soup and random token soup at
+// the parser: it must return an error or an AST, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []byte("letrecandifthenelsematchwithfun()[]->|;:=<>+-*/xyzABC0123 \n'_\"")
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(80)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", buf, r)
+				}
+			}()
+			_, _ = Parse(string(buf))
+			_, _ = ParseExpr(string(buf))
+		}()
+	}
+}
+
+// TestParserNeverPanicsStructured mutates a valid program one byte at a
+// time (deletion, duplication, substitution).
+func TestParserNeverPanicsStructured(t *testing.T) {
+	base := `
+type 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+let rec size t = match t with | Leaf -> 0 | Node (l, _, r) -> 1 + size l + size r
+let main () = size (Node (Leaf, 5, Leaf))
+`
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1500; i++ {
+		b := []byte(base)
+		pos := rng.Intn(len(b))
+		switch rng.Intn(3) {
+		case 0:
+			b = append(b[:pos], b[pos+1:]...)
+		case 1:
+			b = append(b[:pos], append([]byte{b[pos]}, b[pos:]...)...)
+		default:
+			b[pos] = byte(rng.Intn(96) + 32)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutation %d: %v\nsource:\n%s", i, r, b)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}

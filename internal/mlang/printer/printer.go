@@ -1,0 +1,252 @@
+// Package printer renders MinML abstract syntax back to concrete syntax.
+// The output re-parses to an equivalent tree (the round-trip property the
+// tests enforce), which makes it suitable for error messages, the
+// REPL's :list command, and golden tests of desugaring.
+//
+// The printer is conservative with parentheses: operands of binary
+// operators, constructor arguments and "big" expressions (fun/if/match/
+// let-in) in operand position are parenthesized, so precedence never needs
+// to be reconstructed exactly.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"tagfree/internal/mlang/ast"
+)
+
+// Program renders a full program.
+func Program(p *ast.Program) string {
+	var b strings.Builder
+	for i, d := range p.Decls {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		Decl(&b, d)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Decl renders one declaration.
+func Decl(b *strings.Builder, d ast.Decl) {
+	switch d := d.(type) {
+	case *ast.TypeDecl:
+		b.WriteString("type ")
+		switch len(d.Params) {
+		case 0:
+		case 1:
+			fmt.Fprintf(b, "'%s ", d.Params[0])
+		default:
+			parts := make([]string, len(d.Params))
+			for i, p := range d.Params {
+				parts[i] = "'" + p
+			}
+			fmt.Fprintf(b, "(%s) ", strings.Join(parts, ", "))
+		}
+		fmt.Fprintf(b, "%s =", d.Name)
+		for i, c := range d.Ctors {
+			if i > 0 {
+				b.WriteString(" |")
+			}
+			fmt.Fprintf(b, " %s", c.Name)
+			if len(c.Args) > 0 {
+				parts := make([]string, len(c.Args))
+				for j, a := range c.Args {
+					parts[j] = a.String()
+				}
+				fmt.Fprintf(b, " of %s", strings.Join(parts, " * "))
+			}
+		}
+	case *ast.ValDecl:
+		b.WriteString("let ")
+		if d.Rec {
+			b.WriteString("rec ")
+		}
+		for i, bind := range d.Binds {
+			if i > 0 {
+				b.WriteString("\nand ")
+			}
+			Bind(b, bind)
+		}
+	}
+}
+
+// Bind renders one binding (lambda sugar is not re-folded: the bound
+// expression prints as an explicit fun).
+func Bind(b *strings.Builder, bind ast.Bind) {
+	fmt.Fprintf(b, "%s = ", bind.Name)
+	Expr(b, bind.Expr)
+}
+
+// Expr renders an expression.
+func Expr(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		if e.Val < 0 {
+			fmt.Fprintf(b, "(0 - %d)", -e.Val)
+		} else {
+			fmt.Fprintf(b, "%d", e.Val)
+		}
+	case *ast.BoolLit:
+		fmt.Fprintf(b, "%t", e.Val)
+	case *ast.UnitLit:
+		b.WriteString("()")
+	case *ast.StrLit:
+		fmt.Fprintf(b, "%q", e.Val)
+	case *ast.Var:
+		b.WriteString(e.Name)
+	case *ast.Ctor:
+		b.WriteString(ctorString(e))
+	case *ast.App:
+		atom(b, e.Fn)
+		b.WriteByte(' ')
+		atom(b, e.Arg)
+	case *ast.Lam:
+		fmt.Fprintf(b, "fun %s -> ", e.Param)
+		Expr(b, e.Body)
+	case *ast.Let:
+		b.WriteString("let ")
+		if e.Rec {
+			b.WriteString("rec ")
+		}
+		for i, bind := range e.Binds {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			Bind(b, bind)
+		}
+		b.WriteString(" in ")
+		Expr(b, e.Body)
+	case *ast.If:
+		b.WriteString("if ")
+		Expr(b, e.Cond)
+		b.WriteString(" then ")
+		atom(b, e.Then)
+		b.WriteString(" else ")
+		Expr(b, e.Else)
+	case *ast.Match:
+		b.WriteString("match ")
+		Expr(b, e.Scrut)
+		b.WriteString(" with")
+		for _, arm := range e.Arms {
+			fmt.Fprintf(b, " | %s -> ", arm.Pat)
+			atom(b, arm.Body)
+		}
+	case *ast.Tuple:
+		b.WriteByte('(')
+		for i, el := range e.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			Expr(b, el)
+		}
+		b.WriteByte(')')
+	case *ast.Prim:
+		prim(b, e)
+	case *ast.Seq:
+		b.WriteByte('(')
+		Expr(b, e.First)
+		b.WriteString("; ")
+		Expr(b, e.Rest)
+		b.WriteByte(')')
+	case *ast.Ann:
+		b.WriteByte('(')
+		Expr(b, e.Expr)
+		fmt.Fprintf(b, " : %s)", e.Type)
+	}
+}
+
+// ctorString renders a constructor application (lists get their sugar
+// back when fully literal).
+func ctorString(e *ast.Ctor) string {
+	var b strings.Builder
+	switch {
+	case e.Name == "[]":
+		return "[]"
+	case e.Name == "::" && len(e.Args) == 2:
+		atom(&b, e.Args[0])
+		b.WriteString(" :: ")
+		atom(&b, e.Args[1])
+		return b.String()
+	case len(e.Args) == 0:
+		return e.Name
+	default:
+		b.WriteString(e.Name)
+		b.WriteByte(' ')
+		if len(e.Args) == 1 {
+			atom(&b, e.Args[0])
+		} else {
+			b.WriteByte('(')
+			for i, a := range e.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				Expr(&b, a)
+			}
+			b.WriteByte(')')
+		}
+		return b.String()
+	}
+}
+
+var primSymbols = map[ast.PrimOp]string{
+	ast.OpAdd: "+", ast.OpSub: "-", ast.OpMul: "*", ast.OpDiv: "/",
+	ast.OpMod: "mod", ast.OpEq: "=", ast.OpNe: "<>", ast.OpLt: "<",
+	ast.OpLe: "<=", ast.OpGt: ">", ast.OpGe: ">=",
+}
+
+func prim(b *strings.Builder, e *ast.Prim) {
+	switch e.Op {
+	case ast.OpNeg:
+		b.WriteString("(0 - ")
+		atom(b, e.Args[0])
+		b.WriteByte(')')
+	case ast.OpNot:
+		b.WriteString("not ")
+		atom(b, e.Args[0])
+	case ast.OpRef:
+		b.WriteString("ref ")
+		atom(b, e.Args[0])
+	case ast.OpDeref:
+		b.WriteByte('!')
+		atom(b, e.Args[0])
+	case ast.OpAssign:
+		atom(b, e.Args[0])
+		b.WriteString(" := ")
+		Expr(b, e.Args[1])
+	default:
+		sym := primSymbols[e.Op]
+		atom(b, e.Args[0])
+		fmt.Fprintf(b, " %s ", sym)
+		atom(b, e.Args[1])
+	}
+}
+
+// atom renders an expression, parenthesizing anything that is not already
+// atomic.
+func atom(b *strings.Builder, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		if e.Val < 0 {
+			Expr(b, e)
+			return
+		}
+		Expr(b, e)
+	case *ast.BoolLit, *ast.UnitLit, *ast.Var, *ast.StrLit, *ast.Tuple, *ast.Seq, *ast.Ann:
+		Expr(b, e)
+	case *ast.Ctor:
+		if len(e.Args) == 0 {
+			Expr(b, e)
+			return
+		}
+		b.WriteByte('(')
+		Expr(b, e)
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		Expr(b, e)
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,74 @@
+package printer_test
+
+import (
+	"testing"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/mlang/parser"
+	"tagfree/internal/mlang/printer"
+	"tagfree/internal/pipeline"
+	"tagfree/internal/workloads"
+)
+
+// TestRoundTripStable: printing a parsed program and re-parsing it yields
+// the same printed form (print∘parse reaches a fixed point after one step).
+func TestRoundTripStable(t *testing.T) {
+	for _, w := range workloads.All {
+		prog1, err := parser.Parse(w.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", w.Name, err)
+		}
+		out1 := printer.Program(prog1)
+		prog2, err := parser.Parse(out1)
+		if err != nil {
+			t.Fatalf("%s: reparse of printed output failed: %v\noutput:\n%s", w.Name, err, out1)
+		}
+		out2 := printer.Program(prog2)
+		if out1 != out2 {
+			t.Errorf("%s: printing is not stable\nfirst:\n%s\nsecond:\n%s", w.Name, out1, out2)
+		}
+	}
+}
+
+// TestRoundTripPreservesSemantics: the printed program computes the same
+// result as the original under a small heap.
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	for _, w := range workloads.All {
+		prog, err := parser.Parse(w.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", w.Name, err)
+		}
+		printed := printer.Program(prog)
+		res, err := pipeline.Run(printed, pipeline.Options{
+			Strategy:  gc.StratCompiled,
+			HeapWords: w.HeapWords,
+			MaxSteps:  500_000_000,
+		})
+		if err != nil {
+			t.Fatalf("%s: printed program failed: %v\nprinted:\n%s", w.Name, err, printed)
+		}
+		if res.Value != w.Expect {
+			t.Errorf("%s: printed program computes %d, want %d", w.Name, res.Value, w.Expect)
+		}
+	}
+}
+
+// TestPrinterSugar spot-checks the concrete syntax the printer emits.
+func TestPrinterSugar(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`let x = 1 :: 2 :: []`, "let x = 1 :: (2 :: [])\n"},
+		{`let f = fun a b -> a + b`, "let f = fun a -> fun b -> a + b\n"},
+		{`let y = if true then 1 else 2`, "let y = if true then 1 else 2\n"},
+		{`let z = (1, true)`, "let z = (1, true)\n"},
+		{`let r = ref 0`, "let r = ref 0\n"},
+	}
+	for _, c := range cases {
+		prog, err := parser.Parse(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if got := printer.Program(prog); got != c.want {
+			t.Errorf("%q printed as %q, want %q", c.src, got, c.want)
+		}
+	}
+}

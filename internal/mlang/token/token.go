@@ -1,0 +1,127 @@
+// Package token defines the lexical tokens of MinML, the small ML-like
+// source language used throughout this reproduction of Goldberg's tag-free
+// garbage collection paper (PLDI 1991).
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Literal and identifier kinds carry their text in Token.Text.
+const (
+	// Special.
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	INT    // 123
+	IDENT  // lower-case identifier: map, xs
+	CTOR   // capitalized identifier: Some, Leaf
+	TYVAR  // 'a
+	STRING // "abc" (used only in print diagnostics)
+
+	// Keywords.
+	LET
+	REC
+	AND
+	IN
+	FUN
+	IF
+	THEN
+	ELSE
+	MATCH
+	WITH
+	TYPE
+	OF
+	TRUE
+	FALSE
+	REF
+	BEGIN
+	END
+	MOD
+	NOT
+
+	// Punctuation and operators.
+	LPAREN     // (
+	RPAREN     // )
+	LBRACKET   // [
+	RBRACKET   // ]
+	COMMA      // ,
+	SEMI       // ;
+	SEMISEMI   // ;;
+	COLON      // :
+	CONS       // ::
+	ARROW      // ->
+	BAR        // |
+	EQ         // =
+	NE         // <>
+	LT         // <
+	LE         // <=
+	GT         // >
+	GE         // >=
+	PLUS       // +
+	MINUS      // -
+	STAR       // *
+	SLASH      // /
+	AMPAMP     // &&
+	BARBAR     // ||
+	BANG       // !
+	ASSIGN     // :=
+	UNDERSCORE // _
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL",
+	INT: "INT", IDENT: "IDENT", CTOR: "CTOR", TYVAR: "TYVAR", STRING: "STRING",
+	LET: "let", REC: "rec", AND: "and", IN: "in", FUN: "fun", IF: "if",
+	THEN: "then", ELSE: "else", MATCH: "match", WITH: "with", TYPE: "type",
+	OF: "of", TRUE: "true", FALSE: "false", REF: "ref", BEGIN: "begin",
+	END: "end", MOD: "mod", NOT: "not",
+	LPAREN: "(", RPAREN: ")", LBRACKET: "[", RBRACKET: "]", COMMA: ",",
+	SEMI: ";", SEMISEMI: ";;", COLON: ":", CONS: "::", ARROW: "->", BAR: "|",
+	EQ: "=", NE: "<>", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	AMPAMP: "&&", BARBAR: "||", BANG: "!", ASSIGN: ":=", UNDERSCORE: "_",
+}
+
+// String returns a readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"let": LET, "rec": REC, "and": AND, "in": IN, "fun": FUN,
+	"if": IF, "then": THEN, "else": ELSE, "match": MATCH, "with": WITH,
+	"type": TYPE, "of": OF, "true": TRUE, "false": FALSE, "ref": REF,
+	"begin": BEGIN, "end": END, "mod": MOD, "not": NOT,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexeme with its position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case INT, IDENT, CTOR, TYVAR, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

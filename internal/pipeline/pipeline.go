@@ -1,0 +1,221 @@
+// Package pipeline assembles the full compiler and runtime: parse → type
+// check → lower → GC-possible analysis → code generation → execution under
+// a chosen collection strategy. It is the public entry point used by the
+// command-line tools, the examples and the benchmark harness.
+package pipeline
+
+import (
+	"fmt"
+
+	"tagfree/internal/code"
+	"tagfree/internal/compile/codegen"
+	"tagfree/internal/compile/gcanal"
+	"tagfree/internal/compile/lower"
+	"tagfree/internal/gc"
+	"tagfree/internal/heap"
+	"tagfree/internal/ir"
+	"tagfree/internal/mlang/exhaust"
+	"tagfree/internal/mlang/parser"
+	"tagfree/internal/mlang/types"
+	"tagfree/internal/vm"
+)
+
+// Options configures compilation and execution.
+type Options struct {
+	// Strategy selects the collector (and with it the representation the
+	// program is compiled for).
+	Strategy gc.Strategy
+	// HeapWords is the semispace size in words (default 1 << 16).
+	HeapWords int
+	// DisableGCWordElision keeps a gc_word on every call site even when
+	// the §5.1 analysis proves it cannot collect. Required for tasking
+	// (any call can become a suspension point) and used by ablations.
+	DisableGCWordElision bool
+	// UseCFA additionally runs the higher-order (0-CFA) GC-possible
+	// refinement, eliding gc_words on closure-call sites whose every
+	// possible target cannot allocate (the §5.1 "abstract interpretation"
+	// extension the paper defers).
+	UseCFA bool
+	// DisableLiveness makes every frame map contain all pointer-bearing
+	// slots (ablation for experiment E3). Note Appel mode ignores frame
+	// maps entirely.
+	DisableLiveness bool
+	// MarkSweep runs the collector in mark/sweep discipline over a single
+	// space of HeapWords words instead of semispace copying (the paper's
+	// "will support mark/sweep collection as well", §2). Tag-free
+	// strategies only.
+	MarkSweep bool
+	// SuspendAtAllocs selects the paper's first §4 suspension policy for
+	// tasking runs: Rgc is checked only inside allocation routines.
+	SuspendAtAllocs bool
+	// MaxSteps bounds execution; 0 means effectively unbounded.
+	MaxSteps int64
+}
+
+// Result is the outcome of running a program.
+type Result struct {
+	// Raw is main's result word; Value is its integer decoding.
+	Raw    code.Word
+	Value  int64
+	Output string
+
+	VMStats   vm.Stats
+	GCStats   gc.Stats
+	HeapStats heap.Stats
+	Anal      gcanal.Stats
+	// MetadataWords is the collector's GC metadata footprint.
+	MetadataWords int64
+	// DescNodes is the number of unique descriptor nodes in the program.
+	DescNodes int
+	// CodeWords is the generated code size.
+	CodeWords int
+}
+
+// Frontend runs parse, type check and lowering, returning the analyzed IR.
+func Frontend(src string) (*ir.Program, *types.Info, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	irp, err := lower.Lower(prog, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return irp, info, nil
+}
+
+// Build compiles source to a program for the given strategy's
+// representation, running the GC-possible analysis first.
+func Build(src string, opts Options) (*code.Program, *gcanal.Result, error) {
+	irp, _, err := Frontend(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	var anal *gcanal.Result
+	if opts.UseCFA {
+		anal = gcanal.AnalyzeCFA(irp)
+	} else {
+		anal = gcanal.Analyze(irp)
+	}
+	if opts.DisableGCWordElision {
+		for _, f := range irp.Funcs {
+			for _, r := range ir.Rhss(f) {
+				switch call := r.(type) {
+				case *ir.RCall:
+					call.CanGC = true
+				case *ir.RCallClos:
+					call.CanGC = true
+				}
+			}
+		}
+	}
+	prog, err := codegen.Compile(irp, opts.Strategy.CompatibleRepr())
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.DisableLiveness {
+		widenFrameMaps(prog)
+	}
+	return prog, anal, nil
+}
+
+// widenFrameMaps replaces every site's live map with the owning function's
+// full slot map (the E3 ablation: collection without liveness).
+func widenFrameMaps(prog *code.Program) {
+	for _, si := range prog.Sites {
+		fi := prog.Funcs[si.Func]
+		si.Live = fi.AllSlots
+	}
+}
+
+// Run compiles and executes a program.
+func Run(src string, opts Options) (*Result, error) {
+	prog, anal, err := Build(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return RunProgram(prog, anal, opts)
+}
+
+// RunProgram executes an already compiled program.
+func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result, error) {
+	if prog.MainFunc < 0 {
+		return nil, fmt.Errorf("program has no main function")
+	}
+	semi := opts.HeapWords
+	if semi == 0 {
+		semi = 1 << 16
+	}
+	// Appel and tagged modes must zero-fill frames; liveness-disabled maps
+	// must also only see initialized slots.
+	var m *vm.VM
+	var err error
+	if opts.MarkSweep {
+		if opts.Strategy == gc.StratTagged {
+			return nil, fmt.Errorf("mark/sweep is implemented for the tag-free strategies")
+		}
+		m, err = vm.NewWith(prog, heap.NewMarkSweep(prog.Repr, semi), opts.Strategy)
+	} else {
+		m, err = vm.New(prog, semi, opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.DisableLiveness {
+		m.SetZeroFill(true)
+	}
+	if opts.MaxSteps > 0 {
+		m.MaxSteps = opts.MaxSteps
+	}
+	raw, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Raw:           raw,
+		Value:         code.DecodeInt(prog.Repr, raw),
+		Output:        m.Out.String(),
+		VMStats:       m.Stats,
+		GCStats:       m.Col.Stats,
+		HeapStats:     m.Heap.Stats,
+		MetadataWords: m.Col.MetadataSize,
+		DescNodes:     prog.DescNodes,
+		CodeWords:     len(prog.Code),
+	}
+	if anal != nil {
+		res.Anal = anal.Stats
+	}
+	return res, nil
+}
+
+// Warnings type-checks a program and returns its pattern-match
+// exhaustiveness and redundancy diagnostics (compilation proceeds
+// regardless; an unmatched case is a runtime trap).
+func Warnings(src string) ([]exhaust.Warning, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return exhaust.Check(prog, info), nil
+}
+
+// Strategies lists all four collection strategies with stable names, in
+// presentation order for the experiment tables.
+var Strategies = []gc.Strategy{gc.StratCompiled, gc.StratInterp, gc.StratAppel, gc.StratTagged}
+
+// MustRun is a helper for examples: it runs a program and panics on error.
+func MustRun(src string, opts Options) *Result {
+	r, err := Run(src, opts)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline.MustRun: %v", err))
+	}
+	return r
+}

@@ -1,0 +1,193 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"tagfree/internal/code"
+	"tagfree/internal/compile/codegen"
+	"tagfree/internal/compile/gcanal"
+	"tagfree/internal/heap"
+	"tagfree/internal/mlang/types"
+	"tagfree/internal/vm"
+)
+
+// EvalResult is the outcome of Eval: the program's main value rendered as
+// MinML syntax, with its inferred type.
+type EvalResult struct {
+	Value  string
+	Type   string
+	Result *Result
+}
+
+// Eval compiles and runs a program, rendering main's result by walking the
+// simulated heap with main's inferred result type — the same type-driven
+// traversal the collector performs, reused for printing.
+func Eval(src string, opts Options) (*EvalResult, error) {
+	irp, info, err := Frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	mainScheme, ok := info.TopScheme["main"]
+	if !ok {
+		return nil, fmt.Errorf("program has no main function")
+	}
+	arrow, ok := types.Resolve(mainScheme.Body).(*types.Arrow)
+	if !ok {
+		return nil, fmt.Errorf("main is not a function")
+	}
+	retType := arrow.Cod
+
+	if opts.UseCFA {
+		gcanal.AnalyzeCFA(irp)
+	} else {
+		gcanal.Analyze(irp)
+	}
+	prog, err := codegen.Compile(irp, opts.Strategy.CompatibleRepr())
+	if err != nil {
+		return nil, err
+	}
+
+	semi := opts.HeapWords
+	if semi == 0 {
+		semi = 1 << 16
+	}
+	var m *vm.VM
+	if opts.MarkSweep {
+		m, err = vm.NewWith(prog, heap.NewMarkSweep(prog.Repr, semi), opts.Strategy)
+	} else {
+		m, err = vm.New(prog, semi, opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxSteps > 0 {
+		m.MaxSteps = opts.MaxSteps
+	}
+	raw, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	r := &renderer{m: m, repr: prog.Repr}
+	return &EvalResult{
+		Value: r.render(raw, retType, 0),
+		Type:  types.TypeString(retType),
+		Result: &Result{
+			Raw:       raw,
+			Value:     code.DecodeInt(prog.Repr, raw),
+			Output:    m.Out.String(),
+			VMStats:   m.Stats,
+			GCStats:   m.Col.Stats,
+			HeapStats: m.Heap.Stats,
+		},
+	}, nil
+}
+
+// renderer walks heap values by type.
+type renderer struct {
+	m    *vm.VM
+	repr code.Repr
+}
+
+const maxRenderDepth = 12
+
+func (r *renderer) render(w code.Word, t types.Type, depth int) string {
+	if depth > maxRenderDepth {
+		return "..."
+	}
+	switch t := types.Resolve(t).(type) {
+	case *types.Base:
+		switch t.Kind {
+		case types.IntK:
+			return fmt.Sprint(code.DecodeInt(r.repr, w))
+		case types.BoolK:
+			return fmt.Sprint(code.DecodeBool(r.repr, w))
+		case types.UnitK:
+			return "()"
+		case types.StringK:
+			return fmt.Sprintf("%q", r.m.Prog.Strings[code.DecodeInt(r.repr, w)])
+		}
+	case *types.Var:
+		return "<poly>"
+	case *types.Arrow:
+		return "<fun>"
+	case *types.TupleT:
+		parts := make([]string, len(t.Elems))
+		for i, et := range t.Elems {
+			parts[i] = r.render(r.m.Heap.Field(w, i), et, depth+1)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *types.Con:
+		if t.Name == "ref" {
+			return "ref (" + r.render(r.m.Heap.Field(w, 0), t.Args[0], depth+1) + ")"
+		}
+		if t.Name == "list" {
+			return r.renderList(w, t.Args[0], depth)
+		}
+		return r.renderData(w, t, depth)
+	}
+	return "?"
+}
+
+func (r *renderer) renderList(w code.Word, elem types.Type, depth int) string {
+	var parts []string
+	for code.IsBoxedValue(r.repr, w) {
+		if len(parts) >= 20 {
+			parts = append(parts, "...")
+			break
+		}
+		parts = append(parts, r.render(r.m.Heap.Field(w, 0), elem, depth+1))
+		w = r.m.Heap.Field(w, 1)
+	}
+	return "[" + strings.Join(parts, "; ") + "]"
+}
+
+func (r *renderer) renderData(w code.Word, t *types.Con, depth int) string {
+	data := t.Data
+	if data == nil {
+		return "?"
+	}
+	if !code.IsBoxedValue(r.repr, w) {
+		tag := int(code.DecodeInt(r.repr, w))
+		for _, ci := range data.Ctors {
+			if ci.IsNullary() && ci.Tag == tag {
+				return ci.Name
+			}
+		}
+		return fmt.Sprintf("<ctor %d>", tag)
+	}
+	// Boxed: find the constructor via the discriminant (or the sole boxed
+	// constructor for tagless sums).
+	off := 0
+	var ctor *types.CtorInfo
+	if data.BoxedCtors > 1 {
+		tag := int(code.DecodeInt(r.repr, r.m.Heap.Field(w, 0)))
+		off = 1
+		for _, ci := range data.Ctors {
+			if !ci.IsNullary() && ci.Tag == tag {
+				ctor = ci
+				break
+			}
+		}
+	} else {
+		for _, ci := range data.Ctors {
+			if !ci.IsNullary() {
+				ctor = ci
+				break
+			}
+		}
+	}
+	if ctor == nil {
+		return "<box>"
+	}
+	fieldTypes := ctor.Instantiate(t.Args)
+	parts := make([]string, len(fieldTypes))
+	for i, ft := range fieldTypes {
+		parts[i] = r.render(r.m.Heap.Field(w, off+i), ft, depth+1)
+	}
+	if len(parts) == 0 {
+		return ctor.Name
+	}
+	return ctor.Name + " (" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,103 @@
+package pipeline
+
+import (
+	"testing"
+
+	"tagfree/internal/gc"
+)
+
+func eval(t *testing.T, src string) *EvalResult {
+	t.Helper()
+	res, err := Eval(src, Options{Strategy: gc.StratCompiled, HeapWords: 2048})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return res
+}
+
+func TestRenderBaseValues(t *testing.T) {
+	cases := []struct{ src, value, typ string }{
+		{`let main () = 42`, "42", "int"},
+		{`let main () = 0 - 7`, "-7", "int"},
+		{`let main () = 1 < 2`, "true", "bool"},
+		{`let main () = ()`, "()", "unit"},
+		{`let main () = "hi"`, `"hi"`, "string"},
+	}
+	for _, c := range cases {
+		res := eval(t, c.src)
+		if res.Value != c.value || res.Type != c.typ {
+			t.Errorf("%s: got %s : %s, want %s : %s", c.src, res.Value, res.Type, c.value, c.typ)
+		}
+	}
+}
+
+func TestRenderStructures(t *testing.T) {
+	cases := []struct{ src, value, typ string }{
+		{`let main () = [1; 2; 3]`, "[1; 2; 3]", "int list"},
+		{`let main () = []`, "[]", "'a list"},
+		{`let main () = (1, true)`, "(1, true)", "int * bool"},
+		{`let main () = ref 9`, "ref (9)", "int ref"},
+		{`let main () = [(1, false)]`, "[(1, false)]", "(int * bool) list"},
+		{`let main () = [[1]; []]`, "[[1]; []]", "int list list"},
+		{`let main () = fun x -> x`, "<fun>", "'a -> 'a"},
+	}
+	for _, c := range cases {
+		res := eval(t, c.src)
+		if res.Value != c.value || res.Type != c.typ {
+			t.Errorf("%s: got %s : %s, want %s : %s", c.src, res.Value, res.Type, c.value, c.typ)
+		}
+	}
+}
+
+func TestRenderDatatypes(t *testing.T) {
+	res := eval(t, `
+type shape = Point | Circle of int | Rect of int * int
+let main () = [Point; Circle 3; Rect (4, 5)]
+`)
+	if res.Value != "[Point; Circle (3); Rect (4, 5)]" {
+		t.Errorf("got %s", res.Value)
+	}
+	if res.Type != "shape list" {
+		t.Errorf("type %s", res.Type)
+	}
+
+	res = eval(t, `
+type tree = Leaf | Node of tree * int * tree
+let main () = Node (Node (Leaf, 1, Leaf), 2, Leaf)
+`)
+	if res.Value != "Node (Node (Leaf, 1, Leaf), 2, Leaf)" {
+		t.Errorf("got %s", res.Value)
+	}
+}
+
+func TestRenderSurvivesCollection(t *testing.T) {
+	// The rendered structure is built across several collections; the
+	// renderer reads the post-GC heap.
+	res, err := Eval(`
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec churn n = if n = 0 then 0 else (let _ = upto 20 in churn (n - 1))
+let main () =
+  let keep = upto 5 in
+  let _ = churn 50 in
+  keep
+`, Options{Strategy: gc.StratCompiled, HeapWords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "[5; 4; 3; 2; 1]" {
+		t.Errorf("got %s", res.Value)
+	}
+	if res.Result.HeapStats.Collections == 0 {
+		t.Error("test should have collected")
+	}
+}
+
+func TestRenderLongListTruncates(t *testing.T) {
+	res := eval(t, `
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let main () = upto 50
+`)
+	if len(res.Value) > 200 {
+		t.Errorf("long list not truncated: %s", res.Value)
+	}
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"tagfree/internal/code"
+	"tagfree/internal/gc"
+	"tagfree/internal/heap"
+	"tagfree/internal/mlang/types"
+	"tagfree/internal/tasking"
+)
+
+// TaskResult is the outcome of a multi-task run.
+type TaskResult struct {
+	// Values holds each task's decoded integer result, in entry order.
+	Values []int64
+	// Outputs holds each task's printed output.
+	Outputs []string
+	Stats   tasking.Stats
+	GCStats gc.Stats
+	Heap    heap.Stats
+}
+
+// RunTasks compiles src for the tasking runtime (gc_word elision disabled:
+// any call can become a suspension point) and runs the named entry
+// functions as concurrent tasks over a shared heap. Every entry must be a
+// top-level function of type unit -> int.
+func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error) {
+	irp, info, err := Frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range entryNames {
+		sch, ok := info.TopScheme[name]
+		if !ok {
+			return nil, fmt.Errorf("tasking: no top-level binding %s", name)
+		}
+		if s := sch.String(); s != "unit -> int" {
+			return nil, fmt.Errorf("tasking: entry %s has type %s, need unit -> int", name, s)
+		}
+	}
+	_ = irp
+
+	buildOpts := opts
+	buildOpts.DisableGCWordElision = true
+	prog, _, err := Build(src, buildOpts)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]int, len(entryNames))
+	for i, name := range entryNames {
+		entries[i] = prog.FuncByName(name)
+		if entries[i] < 0 {
+			return nil, fmt.Errorf("tasking: function %s not found after compilation", name)
+		}
+	}
+
+	semi := opts.HeapWords
+	if semi == 0 {
+		semi = 1 << 16
+	}
+	group, err := tasking.NewGroup(prog, semi, opts.Strategy, entries)
+	if err != nil {
+		return nil, err
+	}
+	if opts.SuspendAtAllocs {
+		group.Policy = tasking.SuspendAtAllocs
+	}
+	if opts.MaxSteps > 0 {
+		group.MaxSteps = opts.MaxSteps
+	}
+	if err := group.RunInit(); err != nil {
+		return nil, err
+	}
+	if err := group.Run(); err != nil {
+		return nil, err
+	}
+
+	res := &TaskResult{
+		Stats:   group.Stats,
+		GCStats: group.Col.Stats,
+		Heap:    group.Heap.Stats,
+	}
+	for _, t := range group.Tasks {
+		res.Values = append(res.Values, code.DecodeInt(prog.Repr, t.Result))
+		res.Outputs = append(res.Outputs, t.Out.String())
+	}
+	return res, nil
+}
+
+var _ = types.TypeString // keep the types import for the scheme check API

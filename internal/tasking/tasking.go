@@ -1,0 +1,627 @@
+// Package tasking implements the paper's §4 extension: multiple tasks in a
+// shared-memory environment with stop-the-world tag-free collection.
+//
+// The model follows the paper's Ada-flavoured design:
+//
+//   - All tasks share one heap and the global roots; each has its own
+//     stack of activation records.
+//   - A task may be suspended for collection only when it makes a
+//     procedure call (or itself requests allocation) — the same safe-point
+//     discipline as the sequential collector.
+//   - A dedicated register Rgc, normally zero, is conceptually added to
+//     every call's target address. When an allocation finds the heap
+//     exhausted it sets Rgc nonzero, so every other task's next call lands
+//     in a suspension stub. The simulator models the zero-cost check by
+//     comparing Rgc at call dispatch and counts the checks.
+//   - When every live task is suspended, the collector traces all stacks
+//     (tasks suspended at a call contribute the call's argument slots —
+//     the values have not yet been copied to a callee frame) and the tasks
+//     resume: the triggering task retries its allocation, the others
+//     re-execute their calls.
+//
+// The paper describes two suspension disciplines (§4): checking Rgc only
+// inside allocation routines (cheap checks, potentially long waits), or
+// checking at every procedure call via the call-target offset (the default
+// here). Both are implemented; experiment E7 compares their suspension
+// latencies.
+//
+// Scheduling is deterministic round-robin with a fixed instruction
+// quantum, so runs are reproducible. Programs for the tasking VM must be
+// compiled with gc_word elision disabled: any call can become a suspension
+// point, so every call site needs its frame map.
+package tasking
+
+import (
+	"bytes"
+	"fmt"
+
+	"tagfree/internal/code"
+	"tagfree/internal/gc"
+	"tagfree/internal/heap"
+)
+
+// Status is a task's scheduler state.
+type Status int
+
+// Task states.
+const (
+	Running Status = iota
+	SuspendedAlloc
+	SuspendedCall
+	Done
+	Failed
+)
+
+// Task is one thread of control.
+type Task struct {
+	ID     int
+	Status Status
+	Result code.Word
+	Err    error
+	Out    bytes.Buffer
+
+	stack  []code.Word
+	sp     int
+	fp     int
+	pc     int
+	fidx   int
+	shadow []int // function index per frame (interpreter bookkeeping only)
+	// pendingAlloc is the retry size while suspended at an allocation.
+	pendingAlloc int
+}
+
+// Stats aggregates group-level measurements (experiment E7).
+type Stats struct {
+	Collections int64
+	// RgcChecks counts call-dispatch Rgc comparisons (the per-call cost
+	// the paper argues is nearly free).
+	RgcChecks int64
+	// SuspendLatency records, per collection, the number of instructions
+	// executed by all tasks between Rgc being raised and the last task
+	// suspending.
+	SuspendLatency []int64
+	Instructions   int64
+}
+
+// Policy selects the paper's suspension discipline (§4).
+type Policy int
+
+// Suspension policies.
+const (
+	// SuspendAtCalls adds Rgc to every call target: a raised Rgc diverts
+	// the next call into the suspension stub (the paper's second option).
+	SuspendAtCalls Policy = iota
+	// SuspendAtAllocs checks Rgc only inside allocation routines (the
+	// paper's first option: fewer checks, potentially longer waits).
+	SuspendAtAllocs
+)
+
+// Group is a set of tasks over one shared heap.
+type Group struct {
+	Prog    *code.Program
+	Heap    *heap.Heap
+	Col     *gc.Collector
+	Globals []code.Word
+	Tasks   []*Task
+	Stats   Stats
+
+	rgc     code.Word
+	latency int64
+	// Policy is the suspension discipline (default SuspendAtCalls).
+	Policy Policy
+	// Quantum is the instruction slice per scheduling turn.
+	Quantum int
+	// MaxSteps bounds total execution.
+	MaxSteps int64
+}
+
+// NewGroup builds a tasking group. Entries are function indexes of the
+// task bodies (each of type unit -> int); the program's init function runs
+// first on task 0's stack to populate globals.
+func NewGroup(prog *code.Program, semiWords int, strat gc.Strategy, entries []int) (*Group, error) {
+	h := heap.New(prog.Repr, semiWords)
+	col, err := gc.New(prog, h, strat)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{
+		Prog:     prog,
+		Heap:     h,
+		Col:      col,
+		Globals:  make([]code.Word, len(prog.Globals)),
+		Quantum:  97,
+		MaxSteps: 1 << 40,
+	}
+	for i, e := range entries {
+		t := &Task{ID: i, stack: make([]code.Word, 1024), fp: -1}
+		g.pushFrame(t, e, -1)
+		t.stack[t.fp+2] = code.EncodeInt(prog.Repr, 0) // the unit argument
+		g.Tasks = append(g.Tasks, t)
+	}
+	return g, nil
+}
+
+// RunInit executes the program's init function to completion on a
+// dedicated task before the group starts.
+func (g *Group) RunInit() error {
+	t := &Task{ID: -1, stack: make([]code.Word, 1024), fp: -1}
+	g.pushFrame(t, g.Prog.InitFunc, -1)
+	for t.Status == Running {
+		if err := g.step(t, 1_000_000); err != nil {
+			return err
+		}
+		if t.Status == SuspendedAlloc {
+			// Init alone: collect immediately with only this stack.
+			g.collect([]*Task{t})
+			t.Status = Running
+		}
+	}
+	if t.Status == Failed {
+		return t.Err
+	}
+	return nil
+}
+
+// Run schedules the tasks round-robin until all finish. It returns the
+// first error encountered (after stopping the group).
+func (g *Group) Run() error {
+	var total int64
+	for {
+		allDone := true
+		anyRan := false
+		for _, t := range g.Tasks {
+			if t.Status == Done || t.Status == Failed {
+				continue
+			}
+			allDone = false
+			if t.Status == SuspendedAlloc || t.Status == SuspendedCall {
+				continue
+			}
+			anyRan = true
+			if err := g.step(t, g.Quantum); err != nil {
+				t.Status = Failed
+				t.Err = err
+				return err
+			}
+			total += int64(g.Quantum)
+			if total > g.MaxSteps {
+				return fmt.Errorf("tasking: step limit exceeded")
+			}
+		}
+		if allDone {
+			return nil
+		}
+		if g.rgc != 0 && g.allSuspended() {
+			if err := g.collectSuspended(); err != nil {
+				return err
+			}
+			continue
+		}
+		if !anyRan && g.rgc == 0 {
+			return fmt.Errorf("tasking: deadlock: tasks suspended with no collection pending")
+		}
+	}
+}
+
+func (g *Group) allSuspended() bool {
+	for _, t := range g.Tasks {
+		if t.Status == Running {
+			return false
+		}
+	}
+	return true
+}
+
+// collectSuspended runs a stop-the-world collection over every live task
+// and resumes them. It reports heap exhaustion when the collection did not
+// make the pending allocations possible (otherwise the group would cycle
+// through collections forever).
+func (g *Group) collectSuspended() error {
+	var live []*Task
+	for _, t := range g.Tasks {
+		if t.Status == SuspendedAlloc || t.Status == SuspendedCall {
+			live = append(live, t)
+		}
+	}
+	g.collect(live)
+	g.Stats.SuspendLatency = append(g.Stats.SuspendLatency, g.latency)
+	g.latency = 0
+	for _, t := range live {
+		if t.Status == SuspendedAlloc && g.Heap.Need(t.pendingAlloc) {
+			t.Status = Failed
+			t.Err = t.errf(g, "heap exhausted (%d fields requested after collection)", t.pendingAlloc)
+			return t.Err
+		}
+		t.Status = Running
+	}
+	return nil
+}
+
+func (g *Group) collect(live []*Task) {
+	roots := make([]gc.TaskRoots, 0, len(live))
+	for _, t := range live {
+		roots = append(roots, gc.TaskRoots{
+			Stack:  t.stack,
+			FP:     t.fp,
+			SP:     t.sp,
+			PC:     t.pc,
+			AtCall: t.Status == SuspendedCall,
+		})
+	}
+	g.Col.Collect(roots, g.Globals)
+	g.Stats.Collections++
+	g.rgc = 0
+}
+
+// ---------------------------------------------------------------------------
+// Per-task execution.
+// ---------------------------------------------------------------------------
+
+func (g *Group) pushFrame(t *Task, fidx, retPC int) {
+	fi := g.Prog.Funcs[fidx]
+	fp := t.sp
+	size := 2 + fi.NSlots
+	if fp+size > len(t.stack) {
+		ns := make([]code.Word, (fp+size)*2)
+		copy(ns, t.stack)
+		t.stack = ns
+	}
+	t.stack[fp] = code.Word(t.fp)
+	t.stack[fp+1] = code.Word(retPC)
+	if g.Col.Strat == gc.StratAppel || g.Col.Strat == gc.StratTagged {
+		for i := 0; i < fi.NSlots; i++ {
+			t.stack[fp+2+i] = 0
+		}
+	}
+	t.sp = fp + size
+	t.fp = fp
+	t.shadow = append(t.shadow, fidx)
+	t.fidx = fidx
+	t.pc = fi.Entry
+}
+
+func (t *Task) atom(g *Group, w code.Word) code.Word {
+	kind, idx := code.DecodeAtom(w)
+	switch kind {
+	case code.AtomSlot:
+		return t.stack[t.fp+2+idx]
+	case code.AtomConst:
+		return g.Prog.Consts[idx]
+	default:
+		return g.Globals[idx]
+	}
+}
+
+func (t *Task) errf(g *Group, format string, args ...any) error {
+	name := "?"
+	if t.fidx >= 0 && t.fidx < len(g.Prog.Funcs) {
+		name = g.Prog.Funcs[t.fidx].Name
+	}
+	return fmt.Errorf("task %d: runtime error in %s at pc %d: %s",
+		t.ID, name, t.pc, fmt.Sprintf(format, args...))
+}
+
+// step executes up to quantum instructions of one task.
+func (g *Group) step(t *Task, quantum int) error {
+	prog := g.Prog
+	c := prog.Code
+	repr := prog.Repr
+
+	for i := 0; i < quantum; i++ {
+		if t.Status != Running {
+			return nil
+		}
+		g.Stats.Instructions++
+		if g.rgc != 0 {
+			g.latency++
+		}
+		pc := t.pc
+		op := c[pc]
+		switch op {
+		case code.OpRet:
+			val := t.atom(g, c[pc+1])
+			retPC := int(t.stack[t.fp+1])
+			callerFP := int(t.stack[t.fp])
+			t.sp = t.fp
+			t.shadow = t.shadow[:len(t.shadow)-1]
+			if retPC < 0 {
+				t.Status = Done
+				t.Result = val
+				return nil
+			}
+			t.fp = callerFP
+			t.fidx = t.shadow[len(t.shadow)-1]
+			t.stack[t.fp+2+int(c[retPC+1])] = val
+			t.pc = retPC + code.InstrLen(c, retPC)
+
+		case code.OpJmp:
+			t.pc = int(c[pc+1])
+
+		case code.OpJz:
+			if !code.DecodeBool(repr, t.atom(g, c[pc+1])) {
+				t.pc = int(c[pc+2])
+			} else {
+				t.pc = pc + 3
+			}
+
+		case code.OpMove:
+			t.stack[t.fp+2+int(c[pc+1])] = t.atom(g, c[pc+2])
+			t.pc = pc + 3
+
+		case code.OpAdd:
+			t.stack[t.fp+2+int(c[pc+1])] = t.atom(g, c[pc+2]) + t.atom(g, c[pc+3])
+			t.pc = pc + 4
+		case code.OpSub:
+			t.stack[t.fp+2+int(c[pc+1])] = t.atom(g, c[pc+2]) - t.atom(g, c[pc+3])
+			t.pc = pc + 4
+		case code.OpMul:
+			t.stack[t.fp+2+int(c[pc+1])] = t.atom(g, c[pc+2]) * t.atom(g, c[pc+3])
+			t.pc = pc + 4
+		case code.OpDiv, code.OpMod:
+			b := t.atom(g, c[pc+3])
+			if b == 0 {
+				return t.errf(g, "division by zero")
+			}
+			a := t.atom(g, c[pc+2])
+			var v code.Word
+			if op == code.OpDiv {
+				v = a / b
+			} else {
+				v = a % b
+			}
+			t.stack[t.fp+2+int(c[pc+1])] = v
+			t.pc = pc + 4
+		case code.OpTAdd:
+			t.stack[t.fp+2+int(c[pc+1])] = t.atom(g, c[pc+2]) + t.atom(g, c[pc+3]) - 1
+			t.pc = pc + 4
+		case code.OpTSub:
+			t.stack[t.fp+2+int(c[pc+1])] = t.atom(g, c[pc+2]) - t.atom(g, c[pc+3]) + 1
+			t.pc = pc + 4
+		case code.OpTMul:
+			t.stack[t.fp+2+int(c[pc+1])] = ((t.atom(g, c[pc+2]) >> 1) * (t.atom(g, c[pc+3]) >> 1) << 1) | 1
+			t.pc = pc + 4
+		case code.OpTDiv, code.OpTMod:
+			b := t.atom(g, c[pc+3]) >> 1
+			if b == 0 {
+				return t.errf(g, "division by zero")
+			}
+			a := t.atom(g, c[pc+2]) >> 1
+			var v code.Word
+			if op == code.OpTDiv {
+				v = a / b
+			} else {
+				v = a % b
+			}
+			t.stack[t.fp+2+int(c[pc+1])] = v<<1 | 1
+			t.pc = pc + 4
+		case code.OpNeg:
+			t.stack[t.fp+2+int(c[pc+1])] = -t.atom(g, c[pc+2])
+			t.pc = pc + 3
+		case code.OpTNeg:
+			t.stack[t.fp+2+int(c[pc+1])] = 2 - t.atom(g, c[pc+2])
+			t.pc = pc + 3
+
+		case code.OpEq, code.OpNe, code.OpLt, code.OpLe, code.OpGt, code.OpGe:
+			a := t.atom(g, c[pc+2])
+			b := t.atom(g, c[pc+3])
+			var r bool
+			switch op {
+			case code.OpEq:
+				r = a == b
+			case code.OpNe:
+				r = a != b
+			case code.OpLt:
+				r = a < b
+			case code.OpLe:
+				r = a <= b
+			case code.OpGt:
+				r = a > b
+			case code.OpGe:
+				r = a >= b
+			}
+			t.stack[t.fp+2+int(c[pc+1])] = code.EncodeBool(repr, r)
+			t.pc = pc + 4
+
+		case code.OpNot:
+			v := code.DecodeBool(repr, t.atom(g, c[pc+2]))
+			t.stack[t.fp+2+int(c[pc+1])] = code.EncodeBool(repr, !v)
+			t.pc = pc + 3
+
+		case code.OpIsBoxed:
+			v := code.IsBoxedValue(repr, t.atom(g, c[pc+2]))
+			t.stack[t.fp+2+int(c[pc+1])] = code.EncodeBool(repr, v)
+			t.pc = pc + 3
+
+		case code.OpTagIs:
+			obj := t.atom(g, c[pc+2])
+			tag := code.DecodeInt(repr, g.Heap.Field(obj, 0))
+			t.stack[t.fp+2+int(c[pc+1])] = code.EncodeBool(repr, tag == c[pc+3])
+			t.pc = pc + 4
+
+		case code.OpLdFld:
+			t.stack[t.fp+2+int(c[pc+1])] = g.Heap.Field(t.atom(g, c[pc+2]), int(c[pc+3]))
+			t.pc = pc + 4
+
+		case code.OpStFld:
+			g.Heap.SetField(t.atom(g, c[pc+1]), int(c[pc+2]), t.atom(g, c[pc+3]))
+			t.pc = pc + 4
+
+		case code.OpCall, code.OpCallC:
+			if g.Policy == SuspendAtCalls {
+				// The Rgc register is added to every call target: nonzero
+				// diverts into the suspension stub (§4).
+				g.Stats.RgcChecks++
+				if g.rgc != 0 {
+					t.Status = SuspendedCall
+					return nil
+				}
+			}
+			if op == code.OpCall {
+				callee := int(c[pc+2])
+				nargs := int(c[pc+4])
+				fi := prog.Funcs[callee]
+				callerFP := t.fp
+				g.pushFrame(t, callee, pc)
+				for j := 0; j < nargs; j++ {
+					v := readAtomFrom(g, t, callerFP, c[pc+5+j])
+					if j < fi.NParams {
+						t.stack[t.fp+2+j] = v
+					} else {
+						t.stack[t.fp+2+fi.RepArgBase+(j-fi.NParams)] = v
+					}
+				}
+			} else {
+				clos := t.atom(g, c[pc+3])
+				if !code.IsBoxedValue(repr, clos) {
+					return t.errf(g, "application of an undefined recursive closure")
+				}
+				callee := int(code.DecodeInt(repr, g.Heap.Field(clos, 0)))
+				arg := t.atom(g, c[pc+4])
+				g.pushFrame(t, callee, pc)
+				t.stack[t.fp+2] = clos
+				t.stack[t.fp+3] = arg
+			}
+
+		case code.OpMkRef, code.OpMkTuple, code.OpMkBox, code.OpMkClos:
+			if err := g.stepAlloc(t, pc, op); err != nil {
+				return err
+			}
+
+		case code.OpMkRep:
+			n := int(c[pc+4])
+			children := make([]int, n)
+			for j := 0; j < n; j++ {
+				children[j] = int(code.DecodeInt(repr, t.atom(g, c[pc+5+j])))
+			}
+			h := prog.Reps.Intern(code.TDKind(c[pc+2]), int(c[pc+3]), children)
+			t.stack[t.fp+2+int(c[pc+1])] = code.EncodeInt(repr, int64(h))
+			t.pc = pc + 5 + n
+
+		case code.OpBuiltin:
+			arg := t.atom(g, c[pc+3])
+			g.builtin(t, c[pc+2], arg)
+			t.stack[t.fp+2+int(c[pc+1])] = code.EncodeInt(repr, 0)
+			t.pc = pc + 4
+
+		case code.OpSetGlobal:
+			g.Globals[int(c[pc+1])] = t.atom(g, c[pc+2])
+			t.pc = pc + 3
+
+		case code.OpMatchFail:
+			return t.errf(g, "match failure: no pattern matched")
+
+		case code.OpHalt:
+			t.Status = Done
+			return nil
+
+		default:
+			return t.errf(g, "illegal opcode %d", op)
+		}
+	}
+	return nil
+}
+
+// readAtomFrom reads an atom against an explicit frame pointer (the caller
+// frame during argument copying).
+func readAtomFrom(g *Group, t *Task, fp int, w code.Word) code.Word {
+	kind, idx := code.DecodeAtom(w)
+	switch kind {
+	case code.AtomSlot:
+		return t.stack[fp+2+idx]
+	case code.AtomConst:
+		return g.Prog.Consts[idx]
+	default:
+		return g.Globals[idx]
+	}
+}
+
+// stepAlloc executes one allocation instruction, or suspends the task.
+func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
+	c := g.Prog.Code
+	repr := g.Prog.Repr
+	var n int
+	switch op {
+	case code.OpMkRef:
+		n = 1
+	case code.OpMkTuple:
+		n = int(c[pc+3])
+	case code.OpMkBox:
+		n = int(c[pc+4])
+		if c[pc+3] >= 0 {
+			n++
+		}
+	case code.OpMkClos:
+		n = 1 + int(c[pc+5]) + int(c[pc+6])
+	}
+	if g.Policy == SuspendAtAllocs {
+		g.Stats.RgcChecks++
+		if g.rgc != 0 {
+			// Another task exhausted the heap; wait here and retry this
+			// allocation after the collection.
+			t.Status = SuspendedAlloc
+			t.pendingAlloc = n
+			return nil
+		}
+	}
+	if g.Heap.Need(n) {
+		g.rgc = 1
+		t.Status = SuspendedAlloc
+		t.pendingAlloc = n
+		return nil
+	}
+	ptr := g.Heap.Alloc(n)
+	switch op {
+	case code.OpMkRef:
+		g.Heap.SetField(ptr, 0, t.atom(g, c[pc+3]))
+		t.pc = pc + 4
+	case code.OpMkTuple:
+		for i := 0; i < n; i++ {
+			g.Heap.SetField(ptr, i, t.atom(g, c[pc+4+i]))
+		}
+		t.pc = pc + 4 + n
+	case code.OpMkBox:
+		tag := c[pc+3]
+		nf := int(c[pc+4])
+		off := 0
+		if tag >= 0 {
+			g.Heap.SetField(ptr, 0, code.EncodeInt(repr, tag))
+			off = 1
+		}
+		for i := 0; i < nf; i++ {
+			g.Heap.SetField(ptr, off+i, t.atom(g, c[pc+5+i]))
+		}
+		t.pc = pc + 5 + nf
+	case code.OpMkClos:
+		target := c[pc+3]
+		self := int(c[pc+4])
+		nrep := int(c[pc+5])
+		ncap := int(c[pc+6])
+		g.Heap.SetField(ptr, 0, code.EncodeInt(repr, target))
+		for i := 0; i < nrep; i++ {
+			g.Heap.SetField(ptr, 1+i, t.atom(g, c[pc+7+i]))
+		}
+		for i := 0; i < ncap; i++ {
+			g.Heap.SetField(ptr, 1+nrep+i, t.atom(g, c[pc+7+nrep+i]))
+		}
+		if self >= 0 {
+			g.Heap.SetField(ptr, 1+nrep+self, ptr)
+		}
+		t.pc = pc + 7 + nrep + ncap
+	}
+	t.stack[t.fp+2+int(c[pc+1])] = ptr
+	return nil
+}
+
+func (g *Group) builtin(t *Task, id code.BuiltinID, arg code.Word) {
+	repr := g.Prog.Repr
+	switch id {
+	case code.BuiltinPrintInt:
+		fmt.Fprintf(&t.Out, "%d", code.DecodeInt(repr, arg))
+	case code.BuiltinPrintBool:
+		fmt.Fprintf(&t.Out, "%t", code.DecodeBool(repr, arg))
+	case code.BuiltinPrintString:
+		t.Out.WriteString(g.Prog.Strings[code.DecodeInt(repr, arg)])
+	case code.BuiltinPrintNewline:
+		t.Out.WriteByte('\n')
+	}
+}

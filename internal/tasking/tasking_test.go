@@ -1,0 +1,217 @@
+package tasking_test
+
+import (
+	"testing"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/pipeline"
+	"tagfree/internal/workloads"
+)
+
+// workerSrc allocates through a helper whose frame pops before the next
+// round, so dead lists become unreachable even under trace-everything
+// collectors (which retain the dead slots of frames still on the stack).
+const workerSrc = `
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let round () = sum (upto 25)
+let rec work rounds acc =
+  if rounds = 0 then acc
+  else work (rounds - 1) (acc + round ())
+let task_a () = work 30 0
+let task_b () = work 20 1000
+let task_c () = work 10 2000
+`
+
+func TestTwoTasksShareHeap(t *testing.T) {
+	for _, strat := range []gc.Strategy{gc.StratCompiled, gc.StratInterp, gc.StratTagged} {
+		res, err := pipeline.RunTasks(workerSrc, []string{"task_a", "task_b"}, pipeline.Options{
+			Strategy:  strat,
+			HeapWords: 2048,
+		})
+		if err != nil {
+			t.Fatalf("[%v] %v", strat, err)
+		}
+		wantA := int64(30 * 325)
+		wantB := int64(1000 + 20*325)
+		if res.Values[0] != wantA || res.Values[1] != wantB {
+			t.Errorf("[%v] results %v, want [%d %d]", strat, res.Values, wantA, wantB)
+		}
+		if res.Stats.Collections == 0 {
+			t.Errorf("[%v] expected shared-heap pressure to force collections", strat)
+		}
+	}
+}
+
+func TestThreeTasksResultsIndependent(t *testing.T) {
+	res, err := pipeline.RunTasks(workerSrc, []string{"task_a", "task_b", "task_c"}, pipeline.Options{
+		Strategy:  gc.StratCompiled,
+		HeapWords: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{30 * 325, 1000 + 20*325, 2000 + 10*325}
+	for i, w := range want {
+		if res.Values[i] != w {
+			t.Errorf("task %d = %d, want %d", i, res.Values[i], w)
+		}
+	}
+}
+
+func TestTaskingMatchesSequential(t *testing.T) {
+	// A single task must compute exactly what the sequential VM computes.
+	src := `
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let job () = sum (upto 200)
+let main () = job ()
+`
+	seq, err := pipeline.Run(src, pipeline.Options{Strategy: gc.StratCompiled, HeapWords: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pipeline.RunTasks(src, []string{"job"}, pipeline.Options{
+		Strategy:  gc.StratCompiled,
+		HeapWords: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Values[0] != seq.Value {
+		t.Fatalf("tasking result %d != sequential %d", par.Values[0], seq.Value)
+	}
+}
+
+func TestSuspendLatencyRecorded(t *testing.T) {
+	res, err := pipeline.RunTasks(workerSrc, []string{"task_a", "task_b"}, pipeline.Options{
+		Strategy:  gc.StratCompiled,
+		HeapWords: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.SuspendLatency) != int(res.Stats.Collections) {
+		t.Fatalf("latency samples %d != collections %d",
+			len(res.Stats.SuspendLatency), res.Stats.Collections)
+	}
+	if res.Stats.RgcChecks == 0 {
+		t.Fatal("Rgc checks not counted")
+	}
+}
+
+func TestSharedGlobals(t *testing.T) {
+	src := `
+let shared = [100; 200; 300]
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let blip n = (let _ = [n; n] in 0)
+let rec churn n = if n = 0 then 0 else blip n + churn (n - 1)
+let reader () = (let _ = churn 200 in sum shared)
+let writerish () = (let _ = churn 300 in sum shared * 2)
+`
+	res, err := pipeline.RunTasks(src, []string{"reader", "writerish"}, pipeline.Options{
+		Strategy:  gc.StratCompiled,
+		HeapWords: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != 600 || res.Values[1] != 1200 {
+		t.Fatalf("globals corrupted across collections: %v", res.Values)
+	}
+	if res.Stats.Collections == 0 {
+		t.Fatal("expected collections")
+	}
+}
+
+func TestEntryTypeValidation(t *testing.T) {
+	src := `
+let bad x = x + 1
+let main () = 0
+`
+	_, err := pipeline.RunTasks(src, []string{"bad"}, pipeline.Options{Strategy: gc.StratCompiled})
+	if err == nil {
+		t.Fatal("entry with wrong type must be rejected")
+	}
+	_, err = pipeline.RunTasks(src, []string{"missing"}, pipeline.Options{Strategy: gc.StratCompiled})
+	if err == nil {
+		t.Fatal("missing entry must be rejected")
+	}
+}
+
+func TestDeterministicScheduling(t *testing.T) {
+	run := func() ([]int64, int64) {
+		res, err := pipeline.RunTasks(workerSrc, []string{"task_a", "task_b", "task_c"},
+			pipeline.Options{Strategy: gc.StratCompiled, HeapWords: 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Values, res.Stats.Collections
+	}
+	v1, c1 := run()
+	v2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("collection counts differ across runs: %d vs %d", c1, c2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("nondeterministic results: %v vs %v", v1, v2)
+		}
+	}
+}
+
+// TestSuspendAtAllocsPolicy runs the corpus pattern under the paper's
+// first §4 policy (Rgc checked only inside allocation routines) and
+// verifies results agree with the default policy.
+func TestSuspendAtAllocsPolicy(t *testing.T) {
+	def, err := pipeline.RunTasks(workerSrc, []string{"task_a", "task_b", "task_c"},
+		pipeline.Options{Strategy: gc.StratCompiled, HeapWords: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := pipeline.RunTasks(workerSrc, []string{"task_a", "task_b", "task_c"},
+		pipeline.Options{Strategy: gc.StratCompiled, HeapWords: 2048, SuspendAtAllocs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range def.Values {
+		if def.Values[i] != alt.Values[i] {
+			t.Errorf("task %d: policies disagree: %d vs %d", i, def.Values[i], alt.Values[i])
+		}
+	}
+	if alt.Stats.RgcChecks >= def.Stats.RgcChecks {
+		t.Errorf("at-allocs policy should perform fewer Rgc checks: %d vs %d",
+			alt.Stats.RgcChecks, def.Stats.RgcChecks)
+	}
+}
+
+// TestTaskingVMParityOnCorpus runs every workload whose main has type
+// unit -> int as a single task and compares against the sequential VM —
+// the two interpreters must never drift.
+func TestTaskingVMParityOnCorpus(t *testing.T) {
+	for _, w := range workloads.All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			seq, err := pipeline.Run(w.Source, pipeline.Options{
+				Strategy:  gc.StratCompiled,
+				HeapWords: w.HeapWords,
+				MaxSteps:  500_000_000,
+			})
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par, err := pipeline.RunTasks(w.Source, []string{"main"}, pipeline.Options{
+				Strategy:  gc.StratCompiled,
+				HeapWords: w.HeapWords,
+				MaxSteps:  500_000_000,
+			})
+			if err != nil {
+				t.Fatalf("tasking: %v", err)
+			}
+			if par.Values[0] != seq.Value || par.Values[0] != w.Expect {
+				t.Errorf("tasking %d, sequential %d, want %d",
+					par.Values[0], seq.Value, w.Expect)
+			}
+		})
+	}
+}

@@ -1,0 +1,513 @@
+// Package vm implements the abstract machine that executes compiled MinML
+// programs against the simulated heap.
+//
+// The stack is one flat word array holding activation records laid out as
+// in Figure 1 of the paper: dynamic link, return address, then the frame's
+// slots (parameters first). The return address stored in a callee's frame
+// is the program counter of the call instruction itself, so collectors
+// recover each frame's gc_word from the code stream at a fixed offset from
+// it. Collection can happen only inside allocation instructions — the
+// machine checks the heap before allocating and runs the collector at that
+// safe point (§2.1); operands of allocation instructions are re-read from
+// their slots afterwards, so a moving collector's updates are observed.
+//
+// In Appel and tagged modes the machine zero-fills every frame at entry:
+// those collectors trace (or scan) all slots, so uninitialized slots must
+// not contain stale words. The compiled and interpreted modes skip the
+// zero-fill — their liveness-filtered maps never mention uninitialized
+// slots, which is precisely the paper's critique of per-procedure
+// descriptors (§1.1.1).
+package vm
+
+import (
+	"bytes"
+	"fmt"
+
+	"tagfree/internal/code"
+	"tagfree/internal/gc"
+	"tagfree/internal/heap"
+)
+
+// RuntimeError is an execution failure (match failure, division by zero,
+// heap exhaustion, step-limit overrun).
+type RuntimeError struct {
+	PC   int
+	Func string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error in %s at pc %d: %s", e.Func, e.PC, e.Msg)
+}
+
+// Stats counts mutator work.
+type Stats struct {
+	Instructions    int64
+	Calls           int64
+	ClosCalls       int64
+	Allocations     int64
+	ZeroFilledWords int64
+	MaxStackWords   int
+	MaxFrameDepth   int
+}
+
+// VM executes one program.
+type VM struct {
+	Prog    *code.Program
+	Heap    *heap.Heap
+	Col     *gc.Collector
+	Globals []code.Word
+	Out     bytes.Buffer
+	Stats   Stats
+
+	// MaxSteps bounds execution (0 = 2^62).
+	MaxSteps int64
+
+	zeroFill bool
+	stack    []code.Word
+	sp       int
+	shadow   []shadowFrame
+}
+
+// shadowFrame is interpreter bookkeeping only (function identity per
+// frame); collectors never consult it — they recover identities from
+// return addresses and gc_words, as the paper requires.
+type shadowFrame struct {
+	fidx int
+	fp   int
+}
+
+// New builds a machine with a fresh semispace heap of semiWords words per
+// space and a collector of the given strategy (which must match the
+// program's representation).
+func New(prog *code.Program, semiWords int, strat gc.Strategy) (*VM, error) {
+	return NewWith(prog, heap.New(prog.Repr, semiWords), strat)
+}
+
+// NewWith builds a machine over a caller-constructed heap (e.g. a
+// mark/sweep heap from heap.NewMarkSweep).
+func NewWith(prog *code.Program, h *heap.Heap, strat gc.Strategy) (*VM, error) {
+	col, err := gc.New(prog, h, strat)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{
+		Prog:     prog,
+		Heap:     h,
+		Col:      col,
+		Globals:  make([]code.Word, len(prog.Globals)),
+		zeroFill: strat == gc.StratAppel || strat == gc.StratTagged,
+		stack:    make([]code.Word, 4096),
+		MaxSteps: 1 << 62,
+	}
+	return vm, nil
+}
+
+// SetZeroFill overrides frame zero-filling (ablations that widen frame
+// maps must not let the collector see uninitialized slots).
+func (vm *VM) SetZeroFill(on bool) { vm.zeroFill = on }
+
+// Run executes the program: the init function, then main applied to unit.
+// It returns main's result word (decode with code.DecodeInt etc.).
+func (vm *VM) Run() (code.Word, error) {
+	if _, err := vm.call(vm.Prog.InitFunc, nil); err != nil {
+		return 0, err
+	}
+	return vm.call(vm.Prog.MainFunc, []code.Word{code.EncodeInt(vm.Prog.Repr, 0)})
+}
+
+func (vm *VM) errf(pc, fidx int, format string, args ...any) *RuntimeError {
+	name := "?"
+	if fidx >= 0 && fidx < len(vm.Prog.Funcs) {
+		name = vm.Prog.Funcs[fidx].Name
+	}
+	return &RuntimeError{PC: pc, Func: name, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (vm *VM) ensureStack(n int) {
+	if n <= len(vm.stack) {
+		return
+	}
+	ns := make([]code.Word, n*2)
+	copy(ns, vm.stack)
+	vm.stack = ns
+}
+
+// pushFrame creates a frame for fidx and returns its frame pointer.
+func (vm *VM) pushFrame(fidx, retPC, callerFP int) int {
+	fi := vm.Prog.Funcs[fidx]
+	fp := vm.sp
+	size := 2 + fi.NSlots
+	vm.ensureStack(fp + size)
+	vm.stack[fp] = code.Word(callerFP)
+	vm.stack[fp+1] = code.Word(retPC)
+	if vm.zeroFill {
+		for i := 0; i < fi.NSlots; i++ {
+			vm.stack[fp+2+i] = 0
+		}
+		vm.Stats.ZeroFilledWords += int64(fi.NSlots)
+	}
+	vm.sp = fp + size
+	if vm.sp > vm.Stats.MaxStackWords {
+		vm.Stats.MaxStackWords = vm.sp
+	}
+	vm.shadow = append(vm.shadow, shadowFrame{fidx: fidx, fp: fp})
+	if len(vm.shadow) > vm.Stats.MaxFrameDepth {
+		vm.Stats.MaxFrameDepth = len(vm.shadow)
+	}
+	return fp
+}
+
+func (vm *VM) atom(fp int, w code.Word) code.Word {
+	kind, idx := code.DecodeAtom(w)
+	switch kind {
+	case code.AtomSlot:
+		return vm.stack[fp+2+idx]
+	case code.AtomConst:
+		return vm.Prog.Consts[idx]
+	default:
+		return vm.Globals[idx]
+	}
+}
+
+// collect runs a garbage collection at the current safe point.
+func (vm *VM) collect(pc, fp int) {
+	vm.Col.Collect([]gc.TaskRoots{{
+		Stack: vm.stack,
+		FP:    fp,
+		SP:    vm.sp,
+		PC:    pc,
+	}}, vm.Globals)
+}
+
+// ensureHeap guarantees room for an n-field object, collecting if needed.
+func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
+	if !vm.Heap.Need(n) {
+		return nil
+	}
+	vm.collect(pc, fp)
+	if vm.Heap.Need(n) {
+		return vm.errf(pc, fidx, "heap exhausted (%d fields requested, %d words live)",
+			n, vm.Heap.Used())
+	}
+	return nil
+}
+
+// call runs function fidx with the given arguments as a root invocation.
+func (vm *VM) call(fidx int, args []code.Word) (code.Word, error) {
+	fi := vm.Prog.Funcs[fidx]
+	fp := vm.pushFrame(fidx, -1, -1)
+	for i, a := range args {
+		vm.stack[fp+2+i] = a
+	}
+	_ = fi
+	return vm.loop(fidx, fp, fi.Entry)
+}
+
+// loop is the dispatch loop; it runs until the root frame returns.
+func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
+	prog := vm.Prog
+	c := prog.Code
+	repr := prog.Repr
+	steps := int64(0)
+
+	for {
+		steps++
+		if steps > vm.MaxSteps {
+			return 0, vm.errf(pc, fidx, "step limit exceeded (%d)", vm.MaxSteps)
+		}
+		op := c[pc]
+		switch op {
+		case code.OpHalt:
+			return 0, nil
+
+		case code.OpRet:
+			val := vm.atom(fp, c[pc+1])
+			retPC := int(vm.stack[fp+1])
+			callerFP := int(vm.stack[fp])
+			vm.sp = fp
+			vm.shadow = vm.shadow[:len(vm.shadow)-1]
+			if retPC < 0 {
+				vm.Stats.Instructions += steps
+				return val, nil
+			}
+			fp = callerFP
+			fidx = vm.shadow[len(vm.shadow)-1].fidx
+			dst := int(c[retPC+1])
+			vm.stack[fp+2+dst] = val
+			pc = retPC + code.InstrLen(c, retPC)
+
+		case code.OpJmp:
+			pc = int(c[pc+1])
+
+		case code.OpJz:
+			if !code.DecodeBool(repr, vm.atom(fp, c[pc+1])) {
+				pc = int(c[pc+2])
+			} else {
+				pc += 3
+			}
+
+		case code.OpMove:
+			vm.stack[fp+2+int(c[pc+1])] = vm.atom(fp, c[pc+2])
+			pc += 3
+
+		case code.OpAdd, code.OpSub, code.OpMul, code.OpDiv, code.OpMod,
+			code.OpTAdd, code.OpTSub, code.OpTMul, code.OpTDiv, code.OpTMod:
+			a := vm.atom(fp, c[pc+2])
+			b := vm.atom(fp, c[pc+3])
+			v, err := vm.arith(op, a, b, pc, fidx)
+			if err != nil {
+				return 0, err
+			}
+			vm.stack[fp+2+int(c[pc+1])] = v
+			pc += 4
+
+		case code.OpNeg:
+			vm.stack[fp+2+int(c[pc+1])] = -vm.atom(fp, c[pc+2])
+			pc += 3
+
+		case code.OpTNeg:
+			vm.stack[fp+2+int(c[pc+1])] = 2 - vm.atom(fp, c[pc+2])
+			pc += 3
+
+		case code.OpEq, code.OpNe, code.OpLt, code.OpLe, code.OpGt, code.OpGe:
+			a := vm.atom(fp, c[pc+2])
+			b := vm.atom(fp, c[pc+3])
+			var r bool
+			switch op {
+			case code.OpEq:
+				r = a == b
+			case code.OpNe:
+				r = a != b
+			case code.OpLt:
+				r = a < b
+			case code.OpLe:
+				r = a <= b
+			case code.OpGt:
+				r = a > b
+			case code.OpGe:
+				r = a >= b
+			}
+			vm.stack[fp+2+int(c[pc+1])] = code.EncodeBool(repr, r)
+			pc += 4
+
+		case code.OpNot:
+			v := code.DecodeBool(repr, vm.atom(fp, c[pc+2]))
+			vm.stack[fp+2+int(c[pc+1])] = code.EncodeBool(repr, !v)
+			pc += 3
+
+		case code.OpIsBoxed:
+			v := code.IsBoxedValue(repr, vm.atom(fp, c[pc+2]))
+			vm.stack[fp+2+int(c[pc+1])] = code.EncodeBool(repr, v)
+			pc += 3
+
+		case code.OpTagIs:
+			obj := vm.atom(fp, c[pc+2])
+			tag := code.DecodeInt(repr, vm.Heap.Field(obj, 0))
+			vm.stack[fp+2+int(c[pc+1])] = code.EncodeBool(repr, tag == c[pc+3])
+			pc += 4
+
+		case code.OpLdFld:
+			obj := vm.atom(fp, c[pc+2])
+			vm.stack[fp+2+int(c[pc+1])] = vm.Heap.Field(obj, int(c[pc+3]))
+			pc += 4
+
+		case code.OpStFld:
+			obj := vm.atom(fp, c[pc+1])
+			vm.Heap.SetField(obj, int(c[pc+2]), vm.atom(fp, c[pc+3]))
+			pc += 4
+
+		case code.OpCall:
+			callee := int(c[pc+2])
+			nargs := int(c[pc+4])
+			fi := prog.Funcs[callee]
+			newFP := vm.pushFrame(callee, pc, fp)
+			for i := 0; i < nargs; i++ {
+				v := vm.atom(fp, c[pc+5+i])
+				if i < fi.NParams {
+					vm.stack[newFP+2+i] = v
+				} else {
+					vm.stack[newFP+2+fi.RepArgBase+(i-fi.NParams)] = v
+				}
+			}
+			vm.Stats.Calls++
+			fp = newFP
+			fidx = callee
+			pc = fi.Entry
+
+		case code.OpCallC:
+			clos := vm.atom(fp, c[pc+3])
+			if !code.IsBoxedValue(repr, clos) {
+				return 0, vm.errf(pc, fidx, "application of an undefined recursive closure")
+			}
+			callee := int(code.DecodeInt(repr, vm.Heap.Field(clos, 0)))
+			arg := vm.atom(fp, c[pc+4])
+			fi := prog.Funcs[callee]
+			newFP := vm.pushFrame(callee, pc, fp)
+			vm.stack[newFP+2] = clos
+			vm.stack[newFP+3] = arg
+			vm.Stats.ClosCalls++
+			_ = fi
+			fp = newFP
+			fidx = callee
+			pc = prog.Funcs[callee].Entry
+
+		case code.OpMkRef:
+			if err := vm.ensureHeap(1, pc, fp, fidx); err != nil {
+				return 0, err
+			}
+			ptr := vm.Heap.Alloc(1)
+			vm.Heap.SetField(ptr, 0, vm.atom(fp, c[pc+3]))
+			vm.stack[fp+2+int(c[pc+1])] = ptr
+			vm.Stats.Allocations++
+			pc += 4
+
+		case code.OpMkTuple:
+			n := int(c[pc+3])
+			if err := vm.ensureHeap(n, pc, fp, fidx); err != nil {
+				return 0, err
+			}
+			ptr := vm.Heap.Alloc(n)
+			for i := 0; i < n; i++ {
+				vm.Heap.SetField(ptr, i, vm.atom(fp, c[pc+4+i]))
+			}
+			vm.stack[fp+2+int(c[pc+1])] = ptr
+			vm.Stats.Allocations++
+			pc += 4 + n
+
+		case code.OpMkBox:
+			tag := c[pc+3]
+			n := int(c[pc+4])
+			total := n
+			off := 0
+			if tag >= 0 {
+				total++
+				off = 1
+			}
+			if err := vm.ensureHeap(total, pc, fp, fidx); err != nil {
+				return 0, err
+			}
+			ptr := vm.Heap.Alloc(total)
+			if tag >= 0 {
+				vm.Heap.SetField(ptr, 0, code.EncodeInt(repr, tag))
+			}
+			for i := 0; i < n; i++ {
+				vm.Heap.SetField(ptr, off+i, vm.atom(fp, c[pc+5+i]))
+			}
+			vm.stack[fp+2+int(c[pc+1])] = ptr
+			vm.Stats.Allocations++
+			pc += 5 + n
+
+		case code.OpMkClos:
+			target := int(c[pc+3])
+			self := int(c[pc+4])
+			nrep := int(c[pc+5])
+			ncap := int(c[pc+6])
+			total := 1 + nrep + ncap
+			if err := vm.ensureHeap(total, pc, fp, fidx); err != nil {
+				return 0, err
+			}
+			ptr := vm.Heap.Alloc(total)
+			vm.Heap.SetField(ptr, 0, code.EncodeInt(repr, int64(target)))
+			for i := 0; i < nrep; i++ {
+				vm.Heap.SetField(ptr, 1+i, vm.atom(fp, c[pc+7+i]))
+			}
+			for i := 0; i < ncap; i++ {
+				vm.Heap.SetField(ptr, 1+nrep+i, vm.atom(fp, c[pc+7+nrep+i]))
+			}
+			if self >= 0 {
+				vm.Heap.SetField(ptr, 1+nrep+self, ptr)
+			}
+			vm.stack[fp+2+int(c[pc+1])] = ptr
+			vm.Stats.Allocations++
+			pc += 7 + nrep + ncap
+
+		case code.OpMkRep:
+			kind := code.TDKind(c[pc+2])
+			index := int(c[pc+3])
+			n := int(c[pc+4])
+			children := make([]int, n)
+			for i := 0; i < n; i++ {
+				children[i] = int(code.DecodeInt(repr, vm.atom(fp, c[pc+5+i])))
+			}
+			h := prog.Reps.Intern(kind, index, children)
+			vm.stack[fp+2+int(c[pc+1])] = code.EncodeInt(repr, int64(h))
+			pc += 5 + n
+
+		case code.OpBuiltin:
+			arg := vm.atom(fp, c[pc+3])
+			vm.builtin(c[pc+2], arg)
+			vm.stack[fp+2+int(c[pc+1])] = code.EncodeInt(repr, 0)
+			pc += 4
+
+		case code.OpSetGlobal:
+			vm.Globals[int(c[pc+1])] = vm.atom(fp, c[pc+2])
+			pc += 3
+
+		case code.OpMatchFail:
+			return 0, vm.errf(pc, fidx, "match failure: no pattern matched")
+
+		default:
+			return 0, vm.errf(pc, fidx, "illegal opcode %d", op)
+		}
+	}
+}
+
+// arith evaluates an arithmetic opcode. Tagged variants strip and
+// reinstate the tag bit (add/sub use the classic one-instruction identity;
+// mul/div/mod pay the full strip cost — the paper's "tag manipulation"
+// overhead).
+func (vm *VM) arith(op code.Op, a, b code.Word, pc, fidx int) (code.Word, error) {
+	switch op {
+	case code.OpAdd:
+		return a + b, nil
+	case code.OpSub:
+		return a - b, nil
+	case code.OpMul:
+		return a * b, nil
+	case code.OpDiv:
+		if b == 0 {
+			return 0, vm.errf(pc, fidx, "division by zero")
+		}
+		return a / b, nil
+	case code.OpMod:
+		if b == 0 {
+			return 0, vm.errf(pc, fidx, "division by zero")
+		}
+		return a % b, nil
+	case code.OpTAdd:
+		return a + b - 1, nil
+	case code.OpTSub:
+		return a - b + 1, nil
+	case code.OpTMul:
+		return ((a >> 1) * (b >> 1) << 1) | 1, nil
+	case code.OpTDiv:
+		bb := b >> 1
+		if bb == 0 {
+			return 0, vm.errf(pc, fidx, "division by zero")
+		}
+		return ((a >> 1) / bb << 1) | 1, nil
+	case code.OpTMod:
+		bb := b >> 1
+		if bb == 0 {
+			return 0, vm.errf(pc, fidx, "division by zero")
+		}
+		return ((a >> 1) % bb << 1) | 1, nil
+	}
+	panic("arith: unreachable")
+}
+
+func (vm *VM) builtin(id code.BuiltinID, arg code.Word) {
+	repr := vm.Prog.Repr
+	switch id {
+	case code.BuiltinPrintInt:
+		fmt.Fprintf(&vm.Out, "%d", code.DecodeInt(repr, arg))
+	case code.BuiltinPrintBool:
+		fmt.Fprintf(&vm.Out, "%t", code.DecodeBool(repr, arg))
+	case code.BuiltinPrintString:
+		vm.Out.WriteString(vm.Prog.Strings[code.DecodeInt(repr, arg)])
+	case code.BuiltinPrintNewline:
+		vm.Out.WriteByte('\n')
+	}
+}

@@ -1,0 +1,68 @@
+package tagfree_test
+
+// Runs every MinML program under testdata/progs under all four collectors
+// (plus mark/sweep and 0-CFA configurations of the compiled one) with a
+// small heap, asserting the strategies agree with each other.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/pipeline"
+)
+
+func TestTestdataProgramsAgree(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "progs", "*.ml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs found")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			srcBytes, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(srcBytes)
+
+			type config struct {
+				name string
+				opts pipeline.Options
+			}
+			configs := []config{
+				{"compiled", pipeline.Options{Strategy: gc.StratCompiled}},
+				{"interp", pipeline.Options{Strategy: gc.StratInterp}},
+				{"appel", pipeline.Options{Strategy: gc.StratAppel}},
+				{"tagged", pipeline.Options{Strategy: gc.StratTagged}},
+				{"compiled-ms", pipeline.Options{Strategy: gc.StratCompiled, MarkSweep: true}},
+				{"compiled-cfa", pipeline.Options{Strategy: gc.StratCompiled, UseCFA: true}},
+			}
+			var reference int64
+			var refOutput string
+			for i, cfg := range configs {
+				cfg.opts.HeapWords = 2048
+				cfg.opts.MaxSteps = 100_000_000
+				res, err := pipeline.Run(src, cfg.opts)
+				if err != nil {
+					t.Fatalf("[%s] %v", cfg.name, err)
+				}
+				if i == 0 {
+					reference = res.Value
+					refOutput = res.Output
+					continue
+				}
+				if res.Value != reference {
+					t.Errorf("[%s] result %d differs from compiled's %d", cfg.name, res.Value, reference)
+				}
+				if res.Output != refOutput {
+					t.Errorf("[%s] output %q differs from compiled's %q", cfg.name, res.Output, refOutput)
+				}
+			}
+		})
+	}
+}
