@@ -1,0 +1,21 @@
+# Test tiers. tier1 is the gate every change must pass; tier2 adds the
+# race detector over the parallel-collection paths, static analysis, and
+# a fresh (uncached) run of the cross-strategy differential suite.
+
+.PHONY: tier1 tier2 bench fuzz
+
+tier1:
+	go build ./...
+	go test ./...
+
+tier2: tier1
+	go vet ./...
+	go test -race ./...
+	go test -run TestDifferential -count=1 ./internal/pipeline/
+
+bench:
+	go test -bench=. -benchmem -run xxx .
+
+# Budgeted fuzzing of the mark/sweep free-list invariants.
+fuzz:
+	go test ./internal/heap/ -fuzz FuzzMarkSweepFreeList -fuzztime 30s

@@ -19,7 +19,9 @@ import (
 	"testing"
 
 	"tagfree/internal/gc"
+	"tagfree/internal/heap"
 	"tagfree/internal/pipeline"
+	"tagfree/internal/tasking"
 	"tagfree/internal/workloads"
 )
 
@@ -255,3 +257,80 @@ func BenchmarkCompile(b *testing.B) {
 		})
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Parallel collection benchmarks: Collect on a realistic mid-execution
+// root set with 1, 2 and 4 workers. RunUntilCollection schedules the task
+// group until a stop-the-world collection is due and hands back the roots
+// without collecting; Collect may then run repeatedly on them (each
+// collection leaves the stacks consistent for the next). On multi-core
+// hardware the 4-worker rows should beat the sequential oracle; the
+// parallel path guarantees bit-identical heaps either way, so this is a
+// pure speedup knob.
+// ---------------------------------------------------------------------------
+
+// benchCollectGroup compiles a task workload and schedules it up to its
+// first collection, returning the group and the captured root set.
+func benchCollectGroup(b *testing.B, w workloads.TaskWorkload, strat gc.Strategy, ms bool) (*tasking.Group, []gc.TaskRoots) {
+	b.Helper()
+	prog, _, err := pipeline.Build(w.Source, pipeline.Options{
+		Strategy:             strat,
+		DisableGCWordElision: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := make([]int, len(w.Entries))
+	for i, name := range w.Entries {
+		entries[i] = prog.FuncByName(name)
+	}
+	var g *tasking.Group
+	if ms {
+		g, err = tasking.NewGroupWith(prog, heap.NewMarkSweep(prog.Repr, 2*w.HeapWords), strat, entries)
+	} else {
+		g, err = tasking.NewGroup(prog, w.HeapWords, strat, entries)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.RunInit(); err != nil {
+		b.Fatal(err)
+	}
+	roots, pending, err := g.RunUntilCollection()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !pending {
+		b.Fatalf("%s finished without collecting — not a GC benchmark", w.Name)
+	}
+	return g, roots
+}
+
+func benchParallelCollect(b *testing.B, strat gc.Strategy, ms bool) {
+	kind := "copying"
+	if ms {
+		kind = "marksweep"
+	}
+	for _, w := range workloads.Tasking {
+		for _, par := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/%s/par=%d", w.Name, kind, par), func(b *testing.B) {
+				g, roots := benchCollectGroup(b, w, strat, ms)
+				g.Col.Parallelism = par
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g.Col.Collect(roots, g.Globals)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelCollect measures the compiled strategy's collection
+// pause against worker count, in both heap disciplines.
+func BenchmarkParallelCollect(b *testing.B)          { benchParallelCollect(b, gc.StratCompiled, false) }
+func BenchmarkParallelCollectMarkSweep(b *testing.B) { benchParallelCollect(b, gc.StratCompiled, true) }
+
+// BenchmarkParallelCollectAppel isolates the strategy whose root
+// resolution is the most expensive (the O(n²) chain re-walks): resolution
+// parallelizes, so Appel mode gains the most from extra workers.
+func BenchmarkParallelCollectAppel(b *testing.B) { benchParallelCollect(b, gc.StratAppel, false) }

@@ -1,9 +1,11 @@
 // Command tfbench regenerates the experiment tables (E1–E8; see
 // EXPERIMENTS.md). With arguments, it runs only the named experiments.
 //
-//	tfbench            # all experiments
-//	tfbench e1 e4      # selected experiments
+//	tfbench              # all experiments
+//	tfbench e1 e4        # selected experiments
 //	tfbench -repeats 5 e2
+//	tfbench telemetry    # per-collection GC telemetry over the task corpus
+//	tfbench -json telemetry
 package main
 
 import (
@@ -13,10 +15,15 @@ import (
 	"strings"
 
 	"tagfree/internal/experiments"
+	"tagfree/internal/gc"
+	"tagfree/internal/pipeline"
+	"tagfree/internal/workloads"
 )
 
 func main() {
 	repeats := flag.Int("repeats", 3, "timing repetitions (best-of)")
+	par := flag.Int("par", 1, "parallel collection workers for the telemetry report")
+	asJSON := flag.Bool("json", false, "emit the telemetry report as JSON instead of tables")
 	flag.Parse()
 
 	runners := map[string]func() *experiments.Table{
@@ -37,11 +44,46 @@ func main() {
 		selected = order
 	}
 	for _, name := range selected {
+		if strings.EqualFold(name, "telemetry") {
+			telemetryReport(*par, *asJSON)
+			continue
+		}
 		r, ok := runners[strings.ToLower(name)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s)\n", name, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s, telemetry)\n", name, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		fmt.Println(r().Render())
+	}
+}
+
+// telemetryReport runs the multi-task workload corpus under the compiled
+// strategy in both heap disciplines and emits each run's per-collection
+// telemetry — the table form for reading, the JSON form for tooling.
+func telemetryReport(par int, asJSON bool) {
+	for _, w := range workloads.Tasking {
+		for _, ms := range []bool{false, true} {
+			res, err := pipeline.RunTasks(w.Source, w.Entries, pipeline.Options{
+				Strategy:    gc.StratCompiled,
+				HeapWords:   w.HeapWords,
+				MarkSweep:   ms,
+				Parallelism: par,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry %s: %v\n", w.Name, err)
+				os.Exit(1)
+			}
+			if asJSON {
+				js, err := pipeline.TelemetryJSON(res.Telemetry, pipeline.TelemetryOptions{})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "telemetry %s: %v\n", w.Name, err)
+					os.Exit(1)
+				}
+				fmt.Println(string(js))
+				continue
+			}
+			fmt.Printf("%s (%d tasks)\n", w.Name, len(w.Entries))
+			fmt.Println(pipeline.TelemetryTable(res.Telemetry, pipeline.TelemetryOptions{Tasks: true}))
+		}
 	}
 }

@@ -92,6 +92,19 @@ type Collector struct {
 	Strat Strategy
 	Stats Stats
 
+	// Parallelism is the number of workers scanning task stacks during a
+	// collection. 0 or 1 selects the sequential path, which remains the
+	// oracle: the parallel path is required (and tested) to produce a
+	// bit-identical heap. Tagged mode ignores it — with no compiler
+	// metadata there is no per-frame resolution phase to parallelize, and
+	// the Cheney scan is inherently serial.
+	Parallelism int
+	// ScanSeed, when nonzero, shuffles the order in which parallel workers
+	// claim task stacks (tests use it to prove scan-order independence).
+	ScanSeed int64
+	// Telem accumulates per-collection telemetry (see telemetry.go).
+	Telem Telemetry
+
 	b *builder
 	// compiledSites holds the prebuilt frame routines (compiled mode).
 	compiledSites [][]slotTracer
@@ -176,6 +189,9 @@ type pkg struct {
 func (c *Collector) Collect(tasks []TaskRoots, globals []code.Word) {
 	start := time.Now()
 	c.Stats.Collections++
+	statsBefore := c.Stats
+	heapBefore := c.Heap.Stats
+	usedBefore := c.Heap.Used()
 	c.Heap.BeginGC()
 
 	for i, g := range c.Prog.Globals {
@@ -187,11 +203,26 @@ func (c *Collector) Collect(tasks []TaskRoots, globals []code.Word) {
 		}
 	}
 
-	for _, t := range tasks {
-		if c.Strat == StratTagged {
-			c.collectTaggedTask(t)
-		} else {
-			c.collectTask(t)
+	scans := make([]TaskScan, len(tasks))
+	parallel := c.Parallelism > 1 && c.Strat != StratTagged
+	if parallel {
+		c.collectParallel(tasks, scans)
+	} else {
+		for i := range tasks {
+			wordsBefore := c.Heap.Stats.WordsCopied
+			snap := c.Stats
+			if c.Strat == StratTagged {
+				c.collectTaggedTask(tasks[i])
+			} else {
+				c.collectTask(tasks[i])
+			}
+			scans[i] = TaskScan{
+				Task:    i,
+				Frames:  c.Stats.FramesTraced - snap.FramesTraced,
+				Slots:   c.Stats.SlotsTraced - snap.SlotsTraced,
+				Objects: c.Stats.ObjectsCopied - snap.ObjectsCopied,
+				Words:   c.Heap.Stats.WordsCopied - wordsBefore,
+			}
 		}
 	}
 
@@ -201,7 +232,9 @@ func (c *Collector) Collect(tasks []TaskRoots, globals []code.Word) {
 
 	c.Stats.TypeGCBuilt = c.b.Built
 	c.Heap.EndGC()
-	c.Stats.PauseNS += time.Since(start).Nanoseconds()
+	pause := time.Since(start).Nanoseconds()
+	c.Stats.PauseNS += pause
+	c.Telem.record(c, pause, parallel, scans, usedBefore, statsBefore, heapBefore)
 }
 
 // collectTask walks one task's stack oldest→newest, passing type packages
@@ -215,7 +248,7 @@ func (c *Collector) collectTask(t TaskRoots) {
 		fi := c.Prog.Funcs[site.Func]
 		var targs []TypeGC
 		if c.Strat == StratAppel {
-			targs = c.appelTypeArgs(t, fps, pcs, i)
+			targs = c.appelTypeArgs(t, fps, pcs, i, &c.Stats)
 		} else {
 			targs = c.frameTypeArgs(fi, incoming, t.Stack, fp)
 		}
@@ -320,6 +353,17 @@ func (c *Collector) traceFrame(siteIdx int, site *code.SiteInfo, fi *code.FuncIn
 			c.Prog.Funcs[site.Func].Name, fp, len(targs), site.Kind, len(site.Live),
 			len(site.CalleeInst), c.Prog.Funcs[site.Callee].Name)
 	}
+	// When the frame is suspended at a call, the site's argument map is
+	// walked after the frame's own slots; any slot both walks cover must be
+	// traced once only. A second Trace of the same slot would dereference
+	// the to-space pointer the first trace wrote there (Appel mode hits
+	// this: AllSlots ignores liveness and so covers the staged arguments).
+	var traced []int
+	note := func(slot int) {
+		if atCall {
+			traced = append(traced, slot)
+		}
+	}
 	switch c.Strat {
 	case StratCompiled:
 		for _, st := range c.compiledSites[siteIdx] {
@@ -332,14 +376,16 @@ func (c *Collector) traceFrame(siteIdx int, site *code.SiteInfo, fi *code.FuncIn
 			}
 			stack[base+st.slot] = g.Trace(c, stack[base+st.slot])
 			c.Stats.SlotsTraced++
+			note(st.slot)
 		}
 	case StratInterp:
-		c.interpTraceFrame(c.interpSites[siteIdx], stack, base, targs)
+		c.interpTraceFrame(c.interpSites[siteIdx], stack, base, targs, &traced, atCall)
 	case StratAppel:
 		for _, e := range fi.AllSlots {
 			g := c.FromDesc(e.Desc, targs)
 			stack[base+e.Slot] = g.Trace(c, stack[base+e.Slot])
 			c.Stats.SlotsTraced++
+			note(e.Slot)
 		}
 	}
 	if atCall {
@@ -347,11 +393,25 @@ func (c *Collector) traceFrame(siteIdx int, site *code.SiteInfo, fi *code.FuncIn
 		// argument values in its own slots; trace them through the site's
 		// argument map (tasking, §4).
 		for _, e := range site.Args {
+			if slotSeen(traced, e.Slot) {
+				continue
+			}
 			g := c.FromDesc(e.Desc, targs)
 			stack[base+e.Slot] = g.Trace(c, stack[base+e.Slot])
 			c.Stats.SlotsTraced++
 		}
 	}
+}
+
+// slotSeen reports whether slot is in traced (frames have few slots; a
+// linear scan beats a map).
+func slotSeen(traced []int, slot int) bool {
+	for _, s := range traced {
+		if s == slot {
+			return true
+		}
+	}
+	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -362,13 +422,14 @@ func (c *Collector) traceFrame(siteIdx int, site *code.SiteInfo, fi *code.FuncIn
 // chain from the bottom every time — "the tracing of each polymorphic
 // function's activation record may involve traversing a fair amount of the
 // stack" (§1.1.1/§3). The work is O(i) per frame, O(n²) per collection.
-func (c *Collector) appelTypeArgs(t TaskRoots, fps, pcs []int, target int) []TypeGC {
+// Chain steps land in st so parallel workers can count into local stats.
+func (c *Collector) appelTypeArgs(t TaskRoots, fps, pcs []int, target int, st *Stats) []TypeGC {
 	var incoming pkg
 	for j := 0; j <= target; j++ {
 		_, site := c.siteAt(pcs[j])
 		fi := c.Prog.Funcs[site.Func]
 		targs := c.frameTypeArgs(fi, incoming, t.Stack, fps[j])
-		c.Stats.ChainSteps++
+		st.ChainSteps++
 		if j == target {
 			return targs
 		}

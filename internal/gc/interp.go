@@ -59,7 +59,9 @@ func encodeDesc(out []byte, d *code.TypeDesc) []byte {
 }
 
 // interpTraceFrame decodes a site descriptor and traces the frame's slots.
-func (c *Collector) interpTraceFrame(buf []byte, stack []code.Word, base int, targs []TypeGC) {
+// When the frame is suspended at a call (atCall), traced records the slots
+// walked so the caller can skip them in the argument map (see traceFrame).
+func (c *Collector) interpTraceFrame(buf []byte, stack []code.Word, base int, targs []TypeGC, traced *[]int, atCall bool) {
 	r := &descReader{buf: buf}
 	n := r.uvarint()
 	for i := 0; i < n; i++ {
@@ -67,8 +69,26 @@ func (c *Collector) interpTraceFrame(buf []byte, stack []code.Word, base int, ta
 		g := c.decodeDesc(r, targs)
 		stack[base+slot] = g.Trace(c, stack[base+slot])
 		c.Stats.SlotsTraced++
+		if atCall {
+			*traced = append(*traced, slot)
+		}
 	}
 	c.Stats.DescBytesDecoded += int64(len(buf))
+}
+
+// interpFrameJobs decodes a site descriptor into root jobs without tracing
+// anything — the pure half of interpTraceFrame, used by the parallel
+// resolution phase (workers decode concurrently; tracing stays ordered).
+func (c *Collector) interpFrameJobs(jobs []rootJob, buf []byte, base int, targs []TypeGC, st *Stats) []rootJob {
+	r := &descReader{buf: buf}
+	n := r.uvarint()
+	for i := 0; i < n; i++ {
+		slot := r.uvarint()
+		g := c.decodeDesc(r, targs)
+		jobs = append(jobs, rootJob{idx: base + slot, g: g})
+	}
+	st.DescBytesDecoded += int64(len(buf))
+	return jobs
 }
 
 type descReader struct {

@@ -1,0 +1,304 @@
+package gc
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"tagfree/internal/code"
+	"tagfree/internal/heap"
+)
+
+// Parallel collection (the §4 tasking extension on multi-core hardware).
+//
+// A frame routine is pure over compiler metadata: resolving a frame's site,
+// type arguments and slot routines reads only the program, the (stopped)
+// stacks and un-moved heap words. Only heap mutation needs coordination —
+// forwarding in copying mode, mark bits in mark/sweep mode. The two
+// disciplines therefore parallelize differently:
+//
+//   - Copying: workers resolve every task's root set into job lists
+//     concurrently (phase 1: frame chains, gc_word lookups, type-argument
+//     resolution — including Appel mode's O(n²) chain re-walks — and
+//     descriptor decoding), then one goroutine applies the traces in task
+//     order (phase 2). Tracing order equals the sequential collector's
+//     exactly, so to-space layout is bit-identical to the oracle.
+//   - Mark/sweep: objects never move and marking is idempotent, so workers
+//     mark concurrently, claiming objects with an atomic compare-and-swap
+//     (heap.VisitShared). Nothing writes heap words, and the serial sweep
+//     rebuilds free lists deterministically, so the final heap is
+//     bit-identical regardless of scan order.
+//
+// Workers keep local Stats merged in task order after the join; totals are
+// deterministic either way. The only nondeterminism the parallel path
+// admits is mark/sweep per-task attribution of structure shared between
+// tasks (whichever worker's CAS wins owns the words) — totals still agree.
+
+// rootJob is one resolved root: a stack slot and the routine tracing it.
+type rootJob struct {
+	idx int // absolute index into the task's stack
+	g   TypeGC
+}
+
+// collectParallel scans all task stacks with c.Parallelism workers.
+// Globals were already traced serially by Collect.
+func (c *Collector) collectParallel(tasks []TaskRoots, scans []TaskScan) {
+	if c.Heap.Kind() == heap.MarkSweep {
+		c.collectParallelMark(tasks, scans)
+	} else {
+		c.collectParallelCopy(tasks, scans)
+	}
+}
+
+// scanOrder returns the order workers claim task stacks in: identity, or a
+// seeded shuffle when ScanSeed is set (order-independence tests).
+func (c *Collector) scanOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if c.ScanSeed != 0 {
+		rng := rand.New(rand.NewSource(c.ScanSeed))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	return order
+}
+
+// runWorkers fans scan over the task indexes with min(Parallelism, n)
+// goroutines pulling from a shared atomic cursor.
+func (c *Collector) runWorkers(n int, scan func(i int)) {
+	order := c.scanOrder(n)
+	workers := c.Parallelism
+	if workers > n {
+		workers = n
+	}
+	var cursor int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := atomic.AddInt64(&cursor, 1)
+				if k >= int64(n) {
+					return
+				}
+				scan(order[k])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeStats folds a worker's local counters into the collector's.
+func mergeStats(into, from *Stats) {
+	into.FramesTraced += from.FramesTraced
+	into.SlotsTraced += from.SlotsTraced
+	into.ObjectsCopied += from.ObjectsCopied
+	into.DescBytesDecoded += from.DescBytesDecoded
+	into.ChainSteps += from.ChainSteps
+	into.WordsScanned += from.WordsScanned
+}
+
+// ---------------------------------------------------------------------------
+// Copying: parallel resolution, ordered tracing.
+// ---------------------------------------------------------------------------
+
+func (c *Collector) collectParallelCopy(tasks []TaskRoots, scans []TaskScan) {
+	jobLists := make([][]rootJob, len(tasks))
+	local := make([]Stats, len(tasks))
+	c.runWorkers(len(tasks), func(i int) {
+		jobLists[i] = c.taskJobs(tasks[i], &local[i])
+	})
+	for i := range tasks {
+		mergeStats(&c.Stats, &local[i])
+		wordsBefore := c.Heap.Stats.WordsCopied
+		objBefore := c.Stats.ObjectsCopied
+		for _, j := range jobLists[i] {
+			tasks[i].Stack[j.idx] = j.g.Trace(c, tasks[i].Stack[j.idx])
+			c.Stats.SlotsTraced++
+		}
+		scans[i] = TaskScan{
+			Task:    i,
+			Frames:  local[i].FramesTraced,
+			Slots:   int64(len(jobLists[i])),
+			Objects: c.Stats.ObjectsCopied - objBefore,
+			Words:   c.Heap.Stats.WordsCopied - wordsBefore,
+		}
+	}
+}
+
+// taskJobs resolves one task's complete root set without mutating the
+// heap: the job list mirrors collectTask's trace order slot for slot.
+func (c *Collector) taskJobs(t TaskRoots, st *Stats) []rootJob {
+	fps, pcs := frameChain(t)
+	var jobs []rootJob
+	var incoming pkg
+	for i, fp := range fps {
+		siteIdx, site := c.siteAt(pcs[i])
+		fi := c.Prog.Funcs[site.Func]
+		var targs []TypeGC
+		if c.Strat == StratAppel {
+			targs = c.appelTypeArgs(t, fps, pcs, i, st)
+		} else {
+			targs = c.frameTypeArgs(fi, incoming, t.Stack, fp)
+		}
+		jobs = c.frameJobs(jobs, siteIdx, site, fi, fp, targs, t.AtCall && i == len(fps)-1, st)
+		if i < len(fps)-1 && c.Strat != StratAppel {
+			incoming = c.outgoing(site, targs)
+		}
+	}
+	st.FramesTraced += int64(len(fps))
+	return jobs
+}
+
+// frameJobs appends one frame's root jobs in traceFrame's slot order.
+func (c *Collector) frameJobs(jobs []rootJob, siteIdx int, site *code.SiteInfo, fi *code.FuncInfo, fp int, targs []TypeGC, atCall bool, st *Stats) []rootJob {
+	base := fp + 2
+	start := len(jobs)
+	switch c.Strat {
+	case StratCompiled:
+		for _, tr := range c.compiledSites[siteIdx] {
+			g := tr.ground
+			if g == nil {
+				g = c.FromDesc(tr.desc, targs)
+			}
+			jobs = append(jobs, rootJob{idx: base + tr.slot, g: g})
+		}
+	case StratInterp:
+		jobs = c.interpFrameJobs(jobs, c.interpSites[siteIdx], base, targs, st)
+	case StratAppel:
+		for _, e := range fi.AllSlots {
+			jobs = append(jobs, rootJob{idx: base + e.Slot, g: c.FromDesc(e.Desc, targs)})
+		}
+	}
+	if atCall {
+		// Mirror traceFrame's dedupe: a slot covered by both the frame walk
+		// and the site's argument map is traced once only.
+	args:
+		for _, e := range site.Args {
+			for _, j := range jobs[start:] {
+				if j.idx == base+e.Slot {
+					continue args
+				}
+			}
+			jobs = append(jobs, rootJob{idx: base + e.Slot, g: c.FromDesc(e.Desc, targs)})
+		}
+	}
+	return jobs
+}
+
+// ---------------------------------------------------------------------------
+// Mark/sweep: fully parallel marking.
+// ---------------------------------------------------------------------------
+
+func (c *Collector) collectParallelMark(tasks []TaskRoots, scans []TaskScan) {
+	local := make([]Stats, len(tasks))
+	words := make([]int64, len(tasks))
+	c.runWorkers(len(tasks), func(i int) {
+		st := &local[i]
+		jobs := c.taskJobs(tasks[i], st)
+		for _, j := range jobs {
+			words[i] += c.markValue(j.g, tasks[i].Stack[j.idx], st)
+			st.SlotsTraced++
+		}
+	})
+	for i := range tasks {
+		mergeStats(&c.Stats, &local[i])
+		scans[i] = TaskScan{
+			Task:    i,
+			Frames:  local[i].FramesTraced,
+			Slots:   local[i].SlotsTraced,
+			Objects: local[i].ObjectsCopied,
+			Words:   words[i],
+		}
+	}
+}
+
+// markValue marks the structure reachable from one root without writing a
+// single heap or stack word — the read-only twin of TypeGC.Trace for
+// mark/sweep heaps (objects never move, so there is nothing to forward).
+// It returns the words newly marked, for per-task telemetry. First visits
+// are claimed through heap.VisitShared's compare-and-swap, making the walk
+// safe for any number of concurrent workers.
+func (c *Collector) markValue(g TypeGC, w code.Word, st *Stats) int64 {
+	repr := c.Heap.Repr
+	switch g := g.(type) {
+	case *constG:
+		return 0
+	case *refG:
+		if !code.IsBoxedValue(repr, w) {
+			return 0
+		}
+		if _, fresh := c.Heap.VisitShared(w, 1); !fresh {
+			return 0
+		}
+		st.ObjectsCopied++
+		return 1 + c.markValue(g.elem, c.Heap.Field(w, 0), st)
+	case *tupleG:
+		if !code.IsBoxedValue(repr, w) {
+			return 0
+		}
+		if _, fresh := c.Heap.VisitShared(w, len(g.fields)); !fresh {
+			return 0
+		}
+		st.ObjectsCopied++
+		words := int64(len(g.fields))
+		for i, f := range g.fields {
+			words += c.markValue(f, c.Heap.Field(w, i), st)
+		}
+		return words
+	case *dataG:
+		// Iterate recursive tail fields (list spines) like dataG.Trace, so
+		// long lists do not consume host stack proportional to length.
+		var words int64
+		for {
+			if !code.IsBoxedValue(repr, w) {
+				return words
+			}
+			off, tag := 0, 0
+			if g.layout.HasTagWord {
+				tag = int(code.DecodeInt(repr, c.Heap.Field(w, 0)))
+				off = 1
+			}
+			fields := g.layout.Boxed[tag].Fields
+			if _, fresh := c.Heap.VisitShared(w, off+len(fields)); !fresh {
+				return words
+			}
+			st.ObjectsCopied++
+			words += int64(off + len(fields))
+			tailField := -1
+			for i, fd := range fields {
+				fgc := c.FromDesc(fd, g.args)
+				if fgc == g && i == len(fields)-1 {
+					tailField = off + i
+					continue
+				}
+				words += c.markValue(fgc, c.Heap.Field(w, off+i), st)
+			}
+			if tailField < 0 {
+				return words
+			}
+			w = c.Heap.Field(w, tailField)
+		}
+	case *arrowG:
+		if !code.IsBoxedValue(repr, w) {
+			return 0 // null placeholder of a not-yet-patched recursive closure
+		}
+		fidx := int(code.DecodeInt(repr, c.Heap.Field(w, 0)))
+		fi := c.Prog.Funcs[fidx]
+		size := 1 + fi.NumRepWords + len(fi.Captures)
+		if _, fresh := c.Heap.VisitShared(w, size); !fresh {
+			return 0
+		}
+		st.ObjectsCopied++
+		words := int64(size)
+		env := c.closureEnv(fi, w, g)
+		for i, capDesc := range fi.Captures {
+			fgc := c.FromDesc(capDesc, env)
+			words += c.markValue(fgc, c.Heap.Field(w, 1+fi.NumRepWords+i), st)
+		}
+		return words
+	}
+	panic("gc: markValue: unknown TypeGC node")
+}

@@ -1,0 +1,180 @@
+package gc
+
+import "tagfree/internal/heap"
+
+// GC telemetry: every collection appends a structured record — what the
+// pause cost, what each task's stack contributed, how much survived — and
+// feeds two cumulative histograms. The ROADMAP's "explain its own pause
+// behavior" requirement: liveness-style collector work (Karkare et al.;
+// Kumar et al.) is only measurable with per-collection numbers, which the
+// scalar Stats block cannot express.
+//
+// Telemetry is collected unconditionally: the record is a handful of
+// integers per collection, dwarfed by the collection itself. Rendering
+// (table and JSON emitters) lives in internal/pipeline/render.go.
+
+// TaskScan is the collection work attributable to one task's roots.
+// Under parallel mark/sweep, structure shared between tasks is attributed
+// to whichever worker reached it first; only the totals are deterministic.
+type TaskScan struct {
+	Task    int   `json:"task"`
+	Frames  int64 `json:"frames"`
+	Slots   int64 `json:"slots"`
+	Objects int64 `json:"objects"`
+	// Words is the heap words copied (copying) or marked (mark/sweep)
+	// reachable from this task's stack.
+	Words int64 `json:"words"`
+}
+
+// CollectionRecord is one collection's telemetry.
+type CollectionRecord struct {
+	Seq     int   `json:"seq"`
+	PauseNS int64 `json:"pause_ns"`
+	// Parallelism is the worker count that actually scanned (1 when the
+	// sequential path ran, whatever Collector.Parallelism was).
+	Parallelism int `json:"parallelism"`
+	// UsedBefore is the occupied space when the collection started;
+	// LiveWords is what survived it. SurvivorPct is their ratio — under
+	// mark/sweep UsedBefore is the bump high-water mark, so the ratio
+	// reads as "fraction of occupied space still live".
+	UsedBefore  int64   `json:"used_before"`
+	LiveWords   int64   `json:"live_words"`
+	SurvivorPct float64 `json:"survivor_pct"`
+	// WordsVisited is the words copied or marked by this collection.
+	WordsVisited int64 `json:"words_visited"`
+	FramesTraced int64 `json:"frames_traced"`
+	SlotsTraced  int64 `json:"slots_traced"`
+	// WordsScanned counts tag-driven word scans (tagged strategy only).
+	WordsScanned int64 `json:"words_scanned,omitempty"`
+	// FreeListHitPct is the share of mutator allocations since the last
+	// collection that recycled a free-list block (mark/sweep only; -1 when
+	// no allocations happened in the interval or the heap is copying).
+	FreeListHitPct float64 `json:"free_list_hit_pct"`
+	// Tasks breaks the scan down per task stack.
+	Tasks []TaskScan `json:"tasks,omitempty"`
+}
+
+// Histogram bucket layouts. Pause buckets are decades of nanoseconds:
+// <1µs, <10µs, <100µs, <1ms, <10ms, <100ms, ≥100ms. Survivor buckets are
+// deciles of the survivor percentage.
+const (
+	PauseBuckets    = 7
+	SurvivorBuckets = 10
+)
+
+// PauseBucketLabel names pause histogram bucket i.
+func PauseBucketLabel(i int) string {
+	labels := [PauseBuckets]string{"<1µs", "<10µs", "<100µs", "<1ms", "<10ms", "<100ms", "≥100ms"}
+	return labels[i]
+}
+
+// SurvivorBucketLabel names survivor histogram bucket i.
+func SurvivorBucketLabel(i int) string {
+	labels := [SurvivorBuckets]string{
+		"0-10%", "10-20%", "20-30%", "30-40%", "40-50%",
+		"50-60%", "60-70%", "70-80%", "80-90%", "90-100%"}
+	return labels[i]
+}
+
+func pauseBucket(ns int64) int {
+	bound := int64(1_000)
+	for i := 0; i < PauseBuckets-1; i++ {
+		if ns < bound {
+			return i
+		}
+		bound *= 10
+	}
+	return PauseBuckets - 1
+}
+
+func survivorBucket(pct float64) int {
+	i := int(pct / 10)
+	if i < 0 {
+		i = 0
+	}
+	if i >= SurvivorBuckets {
+		i = SurvivorBuckets - 1
+	}
+	return i
+}
+
+// Telemetry accumulates per-collection records and cumulative histograms
+// for one collector (and therefore one strategy and heap discipline).
+type Telemetry struct {
+	Strategy string `json:"strategy"`
+	// Kind is the heap discipline: "copying" or "mark/sweep".
+	Kind         string                 `json:"kind"`
+	Records      []CollectionRecord     `json:"records"`
+	PauseHist    [PauseBuckets]int64    `json:"pause_hist"`
+	SurvivorHist [SurvivorBuckets]int64 `json:"survivor_hist"`
+
+	// Interval baselines for per-collection allocation rates.
+	lastAllocs int64
+	lastHits   int64
+}
+
+// record appends one collection's telemetry. statsBefore/heapBefore are
+// snapshots from the top of Collect; usedBefore the pre-flip occupancy.
+func (t *Telemetry) record(c *Collector, pauseNS int64, parallel bool, scans []TaskScan, usedBefore int, statsBefore Stats, heapBefore heap.Stats) {
+	if t.Strategy == "" {
+		t.Strategy = c.Strat.String()
+		if c.Heap.Kind() == heap.MarkSweep {
+			t.Kind = "mark/sweep"
+		} else {
+			t.Kind = "copying"
+		}
+	}
+	par := 1
+	if parallel {
+		par = c.Parallelism
+	}
+	live := c.Heap.Stats.LiveAfterLastGC
+	survivor := 0.0
+	if usedBefore > 0 {
+		survivor = 100 * float64(live) / float64(usedBefore)
+	}
+	allocs := c.Heap.Stats.Allocations
+	hits := c.Heap.Stats.FreeListHits
+	hitPct := -1.0
+	if c.Heap.Kind() == heap.MarkSweep && allocs > t.lastAllocs {
+		hitPct = 100 * float64(hits-t.lastHits) / float64(allocs-t.lastAllocs)
+	}
+	t.lastAllocs, t.lastHits = allocs, hits
+
+	rec := CollectionRecord{
+		Seq:            len(t.Records),
+		PauseNS:        pauseNS,
+		Parallelism:    par,
+		UsedBefore:     int64(usedBefore),
+		LiveWords:      live,
+		SurvivorPct:    survivor,
+		WordsVisited:   c.Heap.Stats.WordsCopied - heapBefore.WordsCopied,
+		FramesTraced:   c.Stats.FramesTraced - statsBefore.FramesTraced,
+		SlotsTraced:    c.Stats.SlotsTraced - statsBefore.SlotsTraced,
+		WordsScanned:   c.Stats.WordsScanned - statsBefore.WordsScanned,
+		FreeListHitPct: hitPct,
+		Tasks:          scans,
+	}
+	t.Records = append(t.Records, rec)
+	t.PauseHist[pauseBucket(pauseNS)]++
+	t.SurvivorHist[survivorBucket(survivor)]++
+}
+
+// LiveWordsPerCollection returns the live-word count after each collection
+// — the differential tests' equality signature for two configurations.
+func (t *Telemetry) LiveWordsPerCollection() []int64 {
+	out := make([]int64, len(t.Records))
+	for i, r := range t.Records {
+		out[i] = r.LiveWords
+	}
+	return out
+}
+
+// TotalPauseNS sums all recorded pauses.
+func (t *Telemetry) TotalPauseNS() int64 {
+	var total int64
+	for _, r := range t.Records {
+		total += r.PauseNS
+	}
+	return total
+}

@@ -24,6 +24,7 @@ package gc
 
 import (
 	"fmt"
+	"sync"
 
 	"tagfree/internal/code"
 	"tagfree/internal/heap"
@@ -41,8 +42,13 @@ type TypeGC interface {
 }
 
 // builder hash-conses TypeGC nodes, mirroring the paper's observation that
-// type_gc_routine closures for equal types are shared (Figure 3).
+// type_gc_routine closures for equal types are shared (Figure 3). The
+// mutex makes memoization safe for the parallel collection path, where
+// several workers resolve descriptors concurrently; the set of nodes ever
+// built is determined by the program alone, so Built stays deterministic
+// even though construction order is not.
 type builder struct {
+	mu     sync.Mutex
 	nextID int
 	cache  map[string]TypeGC
 	// Built counts constructor calls that created a new node (experiment
@@ -55,6 +61,8 @@ func newBuilder() *builder {
 }
 
 func (b *builder) memo(key string, mk func(id int) TypeGC) TypeGC {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if g, ok := b.cache[key]; ok {
 		return g
 	}

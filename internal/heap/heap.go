@@ -44,6 +44,9 @@ type Stats struct {
 	LiveAfterLastGC int64
 	// PeakLive is the maximum resident size observed after any collection.
 	PeakLive int64
+	// FreeListHits counts mark/sweep allocations served by recycling a
+	// free-list block instead of bumping (telemetry: free-list hit rate).
+	FreeListHits int64
 }
 
 // Heap is a garbage-collected heap over a flat word array: a semispace
@@ -66,8 +69,11 @@ type Heap struct {
 	// their start offsets, mark bits, exact-size free lists, and the sizes
 	// of swept gaps awaiting reuse.
 	objSize []int32
-	marks   []bool
-	free    map[int][]int
+	// marks holds one mark word per heap word (nonzero = marked). It is
+	// uint32 rather than bool so parallel marking can claim objects with an
+	// atomic compare-and-swap (VisitShared).
+	marks []uint32
+	free  map[int][]int
 	gapSize []int32
 	// debugAccess validates every field access against the mark/sweep
 	// allocation map (tests only).
@@ -99,6 +105,13 @@ func New(repr code.Repr, semiWords int) *Heap {
 
 // SemiWords returns the semispace size.
 func (h *Heap) SemiWords() int { return h.semi }
+
+// MemSnapshot returns a copy of the heap's entire word array. Tests use it
+// to assert that two collection configurations (sequential vs parallel,
+// shuffled scan orders) leave bit-identical heaps.
+func (h *Heap) MemSnapshot() []code.Word {
+	return append([]code.Word(nil), h.mem...)
+}
 
 // Used returns the words currently allocated in the active space.
 func (h *Heap) Used() int { return h.alloc - h.fromOff }
@@ -143,11 +156,22 @@ func (h *Heap) Alloc(n int) code.Word {
 
 // OutOfMemoryError reports heap exhaustion that a collection did not cure.
 type OutOfMemoryError struct {
-	Requested, Free int
+	Requested int
+	// Free is the contiguous bump-region space still available.
+	Free int
+	// FreeListWords is the storage parked on mark/sweep free lists whose
+	// size classes did not match the request. Nonzero means the heap had
+	// room in aggregate but the exact-size (BiBoP) discipline could not use
+	// it — without this field the "0 free" diagnostic was misleading.
+	FreeListWords int
 }
 
 // Error implements the error interface.
 func (e *OutOfMemoryError) Error() string {
+	if e.FreeListWords > 0 {
+		return fmt.Sprintf("heap exhausted: need %d words, %d contiguous free (%d more words on mismatched free lists)",
+			e.Requested, e.Free, e.FreeListWords)
+	}
 	return fmt.Sprintf("heap exhausted: need %d words, %d free", e.Requested, e.Free)
 }
 

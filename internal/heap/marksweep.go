@@ -2,6 +2,7 @@ package heap
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"tagfree/internal/code"
 )
@@ -45,7 +46,7 @@ func NewMarkSweep(repr code.Repr, totalWords int) *Heap {
 		alloc:   0,
 		limit:   totalWords,
 		objSize: make([]int32, totalWords),
-		marks:   make([]bool, totalWords),
+		marks:   make([]uint32, totalWords),
 		free:    map[int][]int{},
 	}
 	return h
@@ -73,8 +74,9 @@ func (h *Heap) msAlloc(n int) code.Word {
 		l := h.free[n]
 		base = l[len(l)-1]
 		h.free[n] = l[:len(l)-1]
+		h.Stats.FreeListHits++
 	default:
-		panic(&OutOfMemoryError{Requested: n, Free: h.limit - h.alloc})
+		panic(&OutOfMemoryError{Requested: n, Free: h.limit - h.alloc, FreeListWords: h.FreeListWords()})
 	}
 	h.objSize[base] = int32(n)
 	h.Stats.Allocations++
@@ -96,10 +98,10 @@ func (h *Heap) VisitObject(ptr code.Word, n int) (code.Word, bool) {
 			panic(fmt.Sprintf("heap: collector visited block at %d with size %d, allocated as %d",
 				base, n, h.objSize[base]))
 		}
-		if h.marks[base] {
+		if h.marks[base] != 0 {
 			return ptr, false
 		}
-		h.marks[base] = true
+		h.marks[base] = 1
 		h.Stats.WordsCopied += int64(n) // marked words (same column as copied)
 		return ptr, true
 	}
@@ -107,6 +109,41 @@ func (h *Heap) VisitObject(ptr code.Word, n int) (code.Word, bool) {
 		return fwd, false
 	}
 	return h.CopyObject(ptr, n), true
+}
+
+// VisitShared is the thread-safe variant of VisitObject for parallel
+// marking (mark/sweep only). Marking never moves objects, so concurrent
+// workers only need first-visit arbitration: an atomic compare-and-swap on
+// the mark word. The winner gets fresh=true and traces the fields; losers
+// see an already-marked object. Heap words are never written during
+// marking, so the final heap is bit-identical regardless of scan order.
+func (h *Heap) VisitShared(ptr code.Word, n int) (code.Word, bool) {
+	if h.kind != MarkSweep {
+		panic("VisitShared: parallel visits require a mark/sweep heap")
+	}
+	base := h.addrIndex(ptr)
+	if h.objSize[base] == 0 {
+		panic(fmt.Sprintf("heap: collector visited a freed block at offset %d (size %d)", base, n))
+	}
+	if int(h.objSize[base]) != n {
+		panic(fmt.Sprintf("heap: collector visited block at %d with size %d, allocated as %d",
+			base, n, h.objSize[base]))
+	}
+	if !atomic.CompareAndSwapUint32(&h.marks[base], 0, 1) {
+		return ptr, false
+	}
+	atomic.AddInt64(&h.Stats.WordsCopied, int64(n))
+	return ptr, true
+}
+
+// FreeListWords returns the total storage parked on the mark/sweep free
+// lists across all size classes. On a copying heap it is zero.
+func (h *Heap) FreeListWords() int {
+	total := 0
+	for n, l := range h.free {
+		total += n * len(l)
+	}
+	return total
 }
 
 // msEndGC sweeps: every allocated object that is unmarked joins its size
@@ -126,9 +163,9 @@ func (h *Heap) msEndGC() {
 			base += n
 			continue
 		}
-		if h.marks[base] {
+		if h.marks[base] != 0 {
 			live += int64(n)
-			h.marks[base] = false
+			h.marks[base] = 0
 		} else {
 			h.free[n] = append(h.free[n], base)
 			if h.gapSize == nil {

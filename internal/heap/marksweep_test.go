@@ -1,6 +1,7 @@
 package heap
 
 import (
+	"strings"
 	"testing"
 
 	"tagfree/internal/code"
@@ -136,4 +137,48 @@ func TestPoisonedSweep(t *testing.T) {
 	if h.Field(p, 0) != PoisonWord {
 		t.Fatalf("freed block not poisoned: %d", h.Field(p, 0))
 	}
+}
+
+// TestMarkSweepOOMReportsFreeListWords documents the exact-size free-list
+// limitation (BiBoP: a block is reused only for its own size class): a
+// heap whose free lists hold plenty of storage still cannot satisfy an
+// allocation of a size class it has never freed. The failure must say so —
+// before this test, the OutOfMemoryError reported "0 free" while 32 words
+// sat on the free lists, and diagnosing the OOM meant reading the sweep.
+func TestMarkSweepOOMReportsFreeListWords(t *testing.T) {
+	h := NewMarkSweep(code.ReprTagFree, 32)
+	for i := 0; i < 8; i++ {
+		h.Alloc(4)
+	}
+	// Collect with nothing live: all 32 words land on the 4-word free list.
+	h.BeginGC()
+	h.EndGC()
+	if h.FreeListWords() != 32 {
+		t.Fatalf("free lists hold %d words, want 32", h.FreeListWords())
+	}
+
+	// A 4-word allocation recycles a free block.
+	hitsBefore := h.Stats.FreeListHits
+	h.Alloc(4)
+	if h.Stats.FreeListHits != hitsBefore+1 {
+		t.Fatal("4-word allocation did not recycle a free block")
+	}
+
+	// A 3-word allocation cannot be satisfied despite 28 free words.
+	if !h.Need(3) {
+		t.Fatal("Need(3) false: exact-size free lists cannot satisfy a 3-word request")
+	}
+	defer func() {
+		oom, ok := recover().(*OutOfMemoryError)
+		if !ok {
+			t.Fatal("Alloc(3) did not panic with OutOfMemoryError")
+		}
+		if oom.Requested != 3 || oom.Free != 0 || oom.FreeListWords != 28 {
+			t.Fatalf("OutOfMemoryError = %+v, want Requested=3 Free=0 FreeListWords=28", oom)
+		}
+		if !strings.Contains(oom.Error(), "28 more words on mismatched free lists") {
+			t.Fatalf("error message hides the free-list storage: %q", oom.Error())
+		}
+	}()
+	h.Alloc(3)
 }

@@ -48,6 +48,11 @@ type Options struct {
 	// SuspendAtAllocs selects the paper's first §4 suspension policy for
 	// tasking runs: Rgc is checked only inside allocation routines.
 	SuspendAtAllocs bool
+	// Parallelism is the number of workers scanning task stacks during
+	// each collection (0 or 1 = the sequential oracle). Parallel and
+	// sequential collections produce bit-identical heaps; see
+	// internal/gc/parallel.go.
+	Parallelism int
 	// MaxSteps bounds execution; 0 means effectively unbounded.
 	MaxSteps int64
 }
@@ -62,6 +67,9 @@ type Result struct {
 	VMStats   vm.Stats
 	GCStats   gc.Stats
 	HeapStats heap.Stats
+	// Telemetry is the collector's per-collection record stream (render
+	// with TelemetryTable / TelemetryJSON).
+	Telemetry *gc.Telemetry
 	Anal      gcanal.Stats
 	// MetadataWords is the collector's GC metadata footprint.
 	MetadataWords int64
@@ -171,6 +179,7 @@ func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result,
 	if opts.MaxSteps > 0 {
 		m.MaxSteps = opts.MaxSteps
 	}
+	m.Col.Parallelism = opts.Parallelism
 	raw, err := m.Run()
 	if err != nil {
 		return nil, err
@@ -182,6 +191,7 @@ func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result,
 		VMStats:       m.Stats,
 		GCStats:       m.Col.Stats,
 		HeapStats:     m.Heap.Stats,
+		Telemetry:     &m.Col.Telem,
 		MetadataWords: m.Col.MetadataSize,
 		DescNodes:     prog.DescNodes,
 		CodeWords:     len(prog.Code),

@@ -1,12 +1,15 @@
 package pipeline
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"tagfree/internal/code"
 	"tagfree/internal/compile/codegen"
 	"tagfree/internal/compile/gcanal"
+	"tagfree/internal/gc"
 	"tagfree/internal/heap"
 	"tagfree/internal/mlang/types"
 	"tagfree/internal/vm"
@@ -64,6 +67,7 @@ func Eval(src string, opts Options) (*EvalResult, error) {
 	if opts.MaxSteps > 0 {
 		m.MaxSteps = opts.MaxSteps
 	}
+	m.Col.Parallelism = opts.Parallelism
 	raw, err := m.Run()
 	if err != nil {
 		return nil, err
@@ -80,8 +84,134 @@ func Eval(src string, opts Options) (*EvalResult, error) {
 			VMStats:   m.Stats,
 			GCStats:   m.Col.Stats,
 			HeapStats: m.Heap.Stats,
+			Telemetry: &m.Col.Telem,
 		},
 	}, nil
+}
+
+// TelemetryOptions configures the telemetry emitters.
+type TelemetryOptions struct {
+	// OmitTiming zeroes every pause field (per-record PauseNS and the
+	// cumulative pause histogram) so the output depends only on the
+	// program, strategy and heap discipline — deterministic across runs
+	// and machines, which the golden tests rely on.
+	OmitTiming bool
+	// Tasks includes the per-task scan breakdown in the table output.
+	Tasks bool
+}
+
+// sanitized returns a copy of t with timing stripped per opt.
+func sanitizedTelemetry(t *gc.Telemetry, opt TelemetryOptions) *gc.Telemetry {
+	if !opt.OmitTiming {
+		return t
+	}
+	cp := *t
+	cp.Records = append([]gc.CollectionRecord(nil), t.Records...)
+	for i := range cp.Records {
+		cp.Records[i].PauseNS = 0
+	}
+	cp.PauseHist = [gc.PauseBuckets]int64{}
+	return &cp
+}
+
+// TelemetryTable renders a collector's telemetry as an aligned text table:
+// one row per collection, followed by the cumulative pause and survivor
+// histograms (non-empty buckets only).
+func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
+	t = sanitizedTelemetry(t, opt)
+	var b strings.Builder
+	fmt.Fprintf(&b, "gc telemetry: strategy=%s kind=%s collections=%d\n",
+		t.Strategy, t.Kind, len(t.Records))
+	if len(t.Records) == 0 {
+		return b.String()
+	}
+	if !opt.OmitTiming {
+		fmt.Fprintf(&b, "total pause: %s\n", time.Duration(t.TotalPauseNS()))
+	}
+
+	header := []string{"seq", "pause", "par", "before", "live", "surv%", "words", "frames", "slots", "flhit%"}
+	if opt.OmitTiming {
+		header = header[:1:1]
+		header = append(header, "par", "before", "live", "surv%", "words", "frames", "slots", "flhit%")
+	}
+	rows := make([][]string, 0, len(t.Records))
+	for _, r := range t.Records {
+		hit := "-"
+		if r.FreeListHitPct >= 0 {
+			hit = fmt.Sprintf("%.1f", r.FreeListHitPct)
+		}
+		row := []string{fmt.Sprint(r.Seq)}
+		if !opt.OmitTiming {
+			row = append(row, time.Duration(r.PauseNS).String())
+		}
+		row = append(row,
+			fmt.Sprint(r.Parallelism),
+			fmt.Sprint(r.UsedBefore),
+			fmt.Sprint(r.LiveWords),
+			fmt.Sprintf("%.1f", r.SurvivorPct),
+			fmt.Sprint(r.WordsVisited),
+			fmt.Sprint(r.FramesTraced),
+			fmt.Sprint(r.SlotsTraced),
+			hit,
+		)
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+
+	if opt.Tasks {
+		for _, r := range t.Records {
+			for _, ts := range r.Tasks {
+				fmt.Fprintf(&b, "  gc %d task %d: frames=%d slots=%d objects=%d words=%d\n",
+					r.Seq, ts.Task, ts.Frames, ts.Slots, ts.Objects, ts.Words)
+			}
+		}
+	}
+
+	if !opt.OmitTiming {
+		b.WriteString("pause histogram:")
+		for i, n := range t.PauseHist {
+			if n > 0 {
+				fmt.Fprintf(&b, " %s=%d", gc.PauseBucketLabel(i), n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("survivor histogram:")
+	for i, n := range t.SurvivorHist {
+		if n > 0 {
+			fmt.Fprintf(&b, " %s=%d", gc.SurvivorBucketLabel(i), n)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// TelemetryJSON marshals a collector's telemetry as indented JSON.
+func TelemetryJSON(t *gc.Telemetry, opt TelemetryOptions) ([]byte, error) {
+	return json.MarshalIndent(sanitizedTelemetry(t, opt), "", "  ")
 }
 
 // renderer walks heap values by type.

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"strings"
 	"testing"
 
 	"tagfree/internal/gc"
@@ -100,4 +101,135 @@ let main () = upto 50
 	if len(res.Value) > 200 {
 		t.Errorf("long list not truncated: %s", res.Value)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry golden tests. OmitTiming strips every pause field, so the
+// emitted table and JSON depend only on the program, strategy and heap
+// discipline — fully deterministic.
+// ---------------------------------------------------------------------------
+
+const telemetrySrc = `
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let round () = sum (upto 30)
+let rec loop n acc = if n = 0 then acc else loop (n - 1) (acc + round ())
+let main () = loop 24 0
+`
+
+func TestTelemetryTableGoldenCopying(t *testing.T) {
+	res, err := Run(telemetrySrc, Options{Strategy: gc.StratCompiled, HeapWords: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 11160 {
+		t.Fatalf("value = %d, want 11160", res.Value)
+	}
+	got := TelemetryTable(res.Telemetry, TelemetryOptions{OmitTiming: true})
+	want := `gc telemetry: strategy=compiled kind=copying collections=5
+seq  par  before  live  surv%  words  frames  slots  flhit%
+  0    1     256    16    6.2     16      29      1       -
+  1    1     256    16    6.2     16      33      1       -
+  2    1     256    16    6.2     16      37      1       -
+  3    1     256    16    6.2     16      41      1       -
+  4    1     256    16    6.2     16      45      1       -
+survivor histogram: 0-10%=5
+`
+	if got != want {
+		t.Errorf("table mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestTelemetryTableGoldenMarkSweep(t *testing.T) {
+	res, err := Run(telemetrySrc, Options{Strategy: gc.StratCompiled, HeapWords: 256, MarkSweep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TelemetryTable(res.Telemetry, TelemetryOptions{OmitTiming: true})
+	// The free-list hit rate starts at 0 (first interval allocates from the
+	// pristine bump region) then goes to 100: after the first sweep every
+	// allocation recycles an exact-size free block.
+	want := `gc telemetry: strategy=compiled kind=mark/sweep collections=5
+seq  par  before  live  surv%  words  frames  slots  flhit%
+  0    1     256    16    6.2     16      29      1     0.0
+  1    1     256    16    6.2     16      33      1   100.0
+  2    1     256    16    6.2     16      37      1   100.0
+  3    1     256    16    6.2     16      41      1   100.0
+  4    1     256    16    6.2     16      45      1   100.0
+survivor histogram: 0-10%=5
+`
+	if got != want {
+		t.Errorf("table mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestTelemetryJSONGolden(t *testing.T) {
+	src := strings.Replace(telemetrySrc, "loop 24 0", "loop 6 0", 1)
+	res, err := Run(src, Options{Strategy: gc.StratCompiled, HeapWords: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := TelemetryJSON(res.Telemetry, TelemetryOptions{OmitTiming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "strategy": "compiled",
+  "kind": "copying",
+  "records": [
+    {
+      "seq": 0,
+      "pause_ns": 0,
+      "parallelism": 1,
+      "used_before": 256,
+      "live_words": 16,
+      "survivor_pct": 6.25,
+      "words_visited": 16,
+      "frames_traced": 29,
+      "slots_traced": 1,
+      "free_list_hit_pct": -1,
+      "tasks": [
+        {
+          "task": 0,
+          "frames": 29,
+          "slots": 1,
+          "objects": 8,
+          "words": 16
+        }
+      ]
+    }
+  ],
+  "pause_hist": [
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0
+  ],
+  "survivor_hist": [
+    1,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0
+  ]
+}`
+	if string(got) != want {
+		t.Errorf("json mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The sanitized copy must not leak back: the live Telemetry keeps its
+	// real pause numbers.
+	total := res.Telemetry.TotalPauseNS()
+	if len(res.Telemetry.Records) != 1 {
+		t.Fatalf("expected 1 collection, got %d", len(res.Telemetry.Records))
+	}
+	_ = total // pauses may legitimately round to 0ns on coarse clocks
 }

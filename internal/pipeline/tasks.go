@@ -19,6 +19,8 @@ type TaskResult struct {
 	Stats   tasking.Stats
 	GCStats gc.Stats
 	Heap    heap.Stats
+	// Telemetry is the collector's per-collection record stream.
+	Telemetry *gc.Telemetry
 }
 
 // RunTasks compiles src for the tasking runtime (gc_word elision disabled:
@@ -59,10 +61,19 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 	if semi == 0 {
 		semi = 1 << 16
 	}
-	group, err := tasking.NewGroup(prog, semi, opts.Strategy, entries)
+	var group *tasking.Group
+	if opts.MarkSweep {
+		if opts.Strategy == gc.StratTagged {
+			return nil, fmt.Errorf("mark/sweep is implemented for the tag-free strategies")
+		}
+		group, err = tasking.NewGroupWith(prog, heap.NewMarkSweep(prog.Repr, semi), opts.Strategy, entries)
+	} else {
+		group, err = tasking.NewGroup(prog, semi, opts.Strategy, entries)
+	}
 	if err != nil {
 		return nil, err
 	}
+	group.Col.Parallelism = opts.Parallelism
 	if opts.SuspendAtAllocs {
 		group.Policy = tasking.SuspendAtAllocs
 	}
@@ -77,9 +88,10 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 	}
 
 	res := &TaskResult{
-		Stats:   group.Stats,
-		GCStats: group.Col.Stats,
-		Heap:    group.Heap.Stats,
+		Stats:     group.Stats,
+		GCStats:   group.Col.Stats,
+		Heap:      group.Heap.Stats,
+		Telemetry: &group.Col.Telem,
 	}
 	for _, t := range group.Tasks {
 		res.Values = append(res.Values, code.DecodeInt(prog.Repr, t.Result))

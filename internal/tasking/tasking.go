@@ -107,6 +107,7 @@ type Group struct {
 
 	rgc     code.Word
 	latency int64
+	steps   int64
 	// Policy is the suspension discipline (default SuspendAtCalls).
 	Policy Policy
 	// Quantum is the instruction slice per scheduling turn.
@@ -115,11 +116,17 @@ type Group struct {
 	MaxSteps int64
 }
 
-// NewGroup builds a tasking group. Entries are function indexes of the
-// task bodies (each of type unit -> int); the program's init function runs
-// first on task 0's stack to populate globals.
+// NewGroup builds a tasking group over a fresh semispace copying heap.
+// Entries are function indexes of the task bodies (each of type
+// unit -> int); the program's init function runs first on task 0's stack
+// to populate globals.
 func NewGroup(prog *code.Program, semiWords int, strat gc.Strategy, entries []int) (*Group, error) {
-	h := heap.New(prog.Repr, semiWords)
+	return NewGroupWith(prog, heap.New(prog.Repr, semiWords), strat, entries)
+}
+
+// NewGroupWith builds a tasking group over a caller-constructed heap
+// (e.g. a mark/sweep heap from heap.NewMarkSweep).
+func NewGroupWith(prog *code.Program, h *heap.Heap, strat gc.Strategy, entries []int) (*Group, error) {
 	col, err := gc.New(prog, h, strat)
 	if err != nil {
 		return nil, err
@@ -165,7 +172,24 @@ func (g *Group) RunInit() error {
 // Run schedules the tasks round-robin until all finish. It returns the
 // first error encountered (after stopping the group).
 func (g *Group) Run() error {
-	var total int64
+	for {
+		pending, err := g.runUntilSuspended()
+		if err != nil {
+			return err
+		}
+		if !pending {
+			return nil
+		}
+		if err := g.collectSuspended(); err != nil {
+			return err
+		}
+	}
+}
+
+// runUntilSuspended schedules tasks until either every task finished
+// (false) or a collection is pending with every live task at a safe point
+// (true).
+func (g *Group) runUntilSuspended() (bool, error) {
 	for {
 		allDone := true
 		anyRan := false
@@ -181,26 +205,63 @@ func (g *Group) Run() error {
 			if err := g.step(t, g.Quantum); err != nil {
 				t.Status = Failed
 				t.Err = err
-				return err
+				return false, err
 			}
-			total += int64(g.Quantum)
-			if total > g.MaxSteps {
-				return fmt.Errorf("tasking: step limit exceeded")
+			g.steps += int64(g.Quantum)
+			if g.steps > g.MaxSteps {
+				return false, fmt.Errorf("tasking: step limit exceeded")
 			}
 		}
 		if allDone {
-			return nil
+			return false, nil
 		}
 		if g.rgc != 0 && g.allSuspended() {
-			if err := g.collectSuspended(); err != nil {
-				return err
-			}
-			continue
+			return true, nil
 		}
 		if !anyRan && g.rgc == 0 {
-			return fmt.Errorf("tasking: deadlock: tasks suspended with no collection pending")
+			return false, fmt.Errorf("tasking: deadlock: tasks suspended with no collection pending")
 		}
 	}
+}
+
+// RunUntilCollection schedules the group until a stop-the-world collection
+// is about to start and returns the root set the collector would scan,
+// without collecting. It returns pending=false when every task finished
+// first. Benchmarks use it to measure Collect on realistic mid-execution
+// root sets; callers may invoke Collect repeatedly on the returned roots
+// (each collection leaves the stacks consistent for the next).
+func (g *Group) RunUntilCollection() ([]gc.TaskRoots, bool, error) {
+	pending, err := g.runUntilSuspended()
+	if err != nil || !pending {
+		return nil, false, err
+	}
+	return g.rootSet(g.pendingTasks()), true, nil
+}
+
+// pendingTasks lists the live tasks suspended for the coming collection.
+func (g *Group) pendingTasks() []*Task {
+	var live []*Task
+	for _, t := range g.Tasks {
+		if t.Status == SuspendedAlloc || t.Status == SuspendedCall {
+			live = append(live, t)
+		}
+	}
+	return live
+}
+
+// rootSet builds the collector's view of the suspended tasks.
+func (g *Group) rootSet(live []*Task) []gc.TaskRoots {
+	roots := make([]gc.TaskRoots, 0, len(live))
+	for _, t := range live {
+		roots = append(roots, gc.TaskRoots{
+			Stack:  t.stack,
+			FP:     t.fp,
+			SP:     t.sp,
+			PC:     t.pc,
+			AtCall: t.Status == SuspendedCall,
+		})
+	}
+	return roots
 }
 
 func (g *Group) allSuspended() bool {
@@ -217,12 +278,7 @@ func (g *Group) allSuspended() bool {
 // make the pending allocations possible (otherwise the group would cycle
 // through collections forever).
 func (g *Group) collectSuspended() error {
-	var live []*Task
-	for _, t := range g.Tasks {
-		if t.Status == SuspendedAlloc || t.Status == SuspendedCall {
-			live = append(live, t)
-		}
-	}
+	live := g.pendingTasks()
 	g.collect(live)
 	g.Stats.SuspendLatency = append(g.Stats.SuspendLatency, g.latency)
 	g.latency = 0
@@ -238,17 +294,7 @@ func (g *Group) collectSuspended() error {
 }
 
 func (g *Group) collect(live []*Task) {
-	roots := make([]gc.TaskRoots, 0, len(live))
-	for _, t := range live {
-		roots = append(roots, gc.TaskRoots{
-			Stack:  t.stack,
-			FP:     t.fp,
-			SP:     t.sp,
-			PC:     t.pc,
-			AtCall: t.Status == SuspendedCall,
-		})
-	}
-	g.Col.Collect(roots, g.Globals)
+	g.Col.Collect(g.rootSet(live), g.Globals)
 	g.Stats.Collections++
 	g.rgc = 0
 }

@@ -295,3 +295,88 @@ func ByName(name string) (Workload, bool) {
 	}
 	return Workload{}, false
 }
+
+// TaskWorkload is one multi-task benchmark program: several unit -> int
+// entry functions run as concurrent tasks over a shared heap. Used by the
+// parallel-collection benchmarks and the cross-strategy differential
+// suite.
+type TaskWorkload struct {
+	Name        string
+	Description string
+	Source      string
+	// Entries names the task entry functions, in spawn order.
+	Entries []string
+	// Expect is each task's integer result, in entry order.
+	Expect []int64
+	// HeapWords is the recommended shared semispace size.
+	HeapWords int
+}
+
+// Tasking lists the multi-task corpus in presentation order.
+var Tasking = []TaskWorkload{
+	{
+		Name:        "taskchurn",
+		Description: "list churn on every task stack — collections see several live stacks",
+		Entries:     []string{"task_a", "task_b", "task_c", "task_d"},
+		Expect:      []int64{13000, 14000, 15000, 16000},
+		HeapWords:   2048,
+		Source: `
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let round () = sum (upto 25)
+let rec work rounds acc =
+  if rounds = 0 then acc
+  else work (rounds - 1) (acc + round ())
+let task_a () = work 40 0
+let task_b () = work 40 1000
+let task_c () = work 40 2000
+let task_d () = work 40 3000
+`,
+	},
+	{
+		Name:        "tasktree",
+		Description: "tree building per task — deep structures reachable from suspended frames",
+		Entries:     []string{"grow_a", "grow_b", "grow_c"},
+		Expect:      []int64{7410, 7410, 7410},
+		HeapWords:   4096,
+		Source: `
+type tree = Leaf | Node of tree * int * tree
+let rec build n = if n = 0 then Leaf else Node (build (n - 1), n, build (n - 1))
+let rec tsum t = match t with | Leaf -> 0 | Node (l, v, r) -> tsum l + v + tsum r
+let round () = tsum (build 7)
+let rec loop n acc = if n = 0 then acc else loop (n - 1) (acc + round ())
+let grow_a () = loop 30 0
+let grow_b () = loop 30 0
+let grow_c () = loop 30 0
+`,
+	},
+	{
+		Name:        "taskpoly",
+		Description: "chains of polymorphic frames per task — type-arg resolution dominates the scan",
+		Entries:     []string{"deep_a", "deep_b"},
+		Expect:      []int64{5050, 6050},
+		HeapWords:   512,
+		Source: `
+let rec len xs = match xs with | [] -> 0 | _ :: r -> len r + 1
+let deep3 p = (let l = [p; p; p] in len l - 3)
+let deep2 p = deep3 (p, p)
+let deep1 p = deep2 (p, p)
+let probe x = deep1 (x, x)
+let rec drive n acc =
+  if n = 0 then acc
+  else drive (n - 1) (acc + n + probe n)
+let deep_a () = drive 100 0
+let deep_b () = drive 100 1000
+`,
+	},
+}
+
+// TaskByName returns the named task workload.
+func TaskByName(name string) (TaskWorkload, bool) {
+	for _, w := range Tasking {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return TaskWorkload{}, false
+}
