@@ -1,17 +1,23 @@
 # Test tiers. tier1 is the gate every change must pass; tier2 adds the
-# race detector over the parallel-collection paths, static analysis, and
-# a fresh (uncached) run of the cross-strategy differential suite.
+# race detector over the parallel-collection paths and a fresh (uncached)
+# run of the cross-strategy differential suite. tier2-torture is the
+# heavyweight stress pass: the full task corpus with a collection before
+# every allocation and the post-collection heap verifier on, under the
+# race detector.
 
-.PHONY: tier1 tier2 bench fuzz
+.PHONY: tier1 tier2 tier2-torture bench fuzz
 
 tier1:
 	go build ./...
+	go vet ./...
 	go test ./...
 
 tier2: tier1
-	go vet ./...
 	go test -race ./...
 	go test -run TestDifferential -count=1 ./internal/pipeline/
+
+tier2-torture: tier1
+	GC_TORTURE_FULL=1 go test -race -run 'TestTorture|TestRecoveryLadder|TestWatchdog' -count=1 -timeout 30m ./internal/pipeline/
 
 bench:
 	go test -bench=. -benchmem -run xxx .

@@ -24,6 +24,8 @@ func main() {
 	repeats := flag.Int("repeats", 3, "timing repetitions (best-of)")
 	par := flag.Int("par", 1, "parallel collection workers for the telemetry report")
 	asJSON := flag.Bool("json", false, "emit the telemetry report as JSON instead of tables")
+	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection (telemetry report)")
+	torture := flag.Bool("gc-torture", false, "collect before every allocation (telemetry report)")
 	flag.Parse()
 
 	runners := map[string]func() *experiments.Table{
@@ -45,7 +47,7 @@ func main() {
 	}
 	for _, name := range selected {
 		if strings.EqualFold(name, "telemetry") {
-			telemetryReport(*par, *asJSON)
+			telemetryReport(*par, *asJSON, *verifyHeap, *torture)
 			continue
 		}
 		r, ok := runners[strings.ToLower(name)]
@@ -60,7 +62,9 @@ func main() {
 // telemetryReport runs the multi-task workload corpus under the compiled
 // strategy in both heap disciplines and emits each run's per-collection
 // telemetry — the table form for reading, the JSON form for tooling.
-func telemetryReport(par int, asJSON bool) {
+// verify and torture thread the robustness knobs through, turning the
+// report into a GC stress run over the whole corpus.
+func telemetryReport(par int, asJSON, verify, torture bool) {
 	for _, w := range workloads.Tasking {
 		for _, ms := range []bool{false, true} {
 			res, err := pipeline.RunTasks(w.Source, w.Entries, pipeline.Options{
@@ -68,6 +72,8 @@ func telemetryReport(par int, asJSON bool) {
 				HeapWords:   w.HeapWords,
 				MarkSweep:   ms,
 				Parallelism: par,
+				VerifyHeap:  verify,
+				Torture:     torture,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "telemetry %s: %v\n", w.Name, err)

@@ -104,6 +104,12 @@ type Collector struct {
 	ScanSeed int64
 	// Telem accumulates per-collection telemetry (see telemetry.go).
 	Telem Telemetry
+	// Faults, when non-nil, injects allocation failures, forced
+	// collections, worker stalls and watchdog aborts (see faultinject.go).
+	Faults *FaultPlan
+	// Verify runs the post-collection heap verifier after every collection
+	// (see verify.go); violations panic with a *VerifyError.
+	Verify bool
 
 	b *builder
 	// compiledSites holds the prebuilt frame routines (compiled mode).
@@ -194,36 +200,16 @@ func (c *Collector) Collect(tasks []TaskRoots, globals []code.Word) {
 	usedBefore := c.Heap.Used()
 	c.Heap.BeginGC()
 
-	for i, g := range c.Prog.Globals {
-		if c.Strat == StratTagged {
-			globals[i] = c.traceTaggedWord(globals[i])
-		} else {
-			gc := c.FromDesc(g.Desc, nil)
-			globals[i] = gc.Trace(c, globals[i])
-		}
-	}
+	markedAtStart := c.Heap.Stats.WordsCopied
+	c.traceGlobals(globals)
 
 	scans := make([]TaskScan, len(tasks))
 	parallel := c.Parallelism > 1 && c.Strat != StratTagged
+	fallback := false
 	if parallel {
-		c.collectParallel(tasks, scans)
+		fallback = !c.collectParallel(tasks, scans, globals, markedAtStart)
 	} else {
-		for i := range tasks {
-			wordsBefore := c.Heap.Stats.WordsCopied
-			snap := c.Stats
-			if c.Strat == StratTagged {
-				c.collectTaggedTask(tasks[i])
-			} else {
-				c.collectTask(tasks[i])
-			}
-			scans[i] = TaskScan{
-				Task:    i,
-				Frames:  c.Stats.FramesTraced - snap.FramesTraced,
-				Slots:   c.Stats.SlotsTraced - snap.SlotsTraced,
-				Objects: c.Stats.ObjectsCopied - snap.ObjectsCopied,
-				Words:   c.Heap.Stats.WordsCopied - wordsBefore,
-			}
-		}
+		c.collectSerial(tasks, scans)
 	}
 
 	if c.Strat == StratTagged {
@@ -234,7 +220,43 @@ func (c *Collector) Collect(tasks []TaskRoots, globals []code.Word) {
 	c.Heap.EndGC()
 	pause := time.Since(start).Nanoseconds()
 	c.Stats.PauseNS += pause
-	c.Telem.record(c, pause, parallel, scans, usedBefore, statsBefore, heapBefore)
+	c.Telem.record(c, pause, parallel, fallback, scans, usedBefore, statsBefore, heapBefore)
+	if c.Verify {
+		c.verifyCollection(tasks, globals)
+	}
+}
+
+// traceGlobals forwards/marks the global slots (always serial).
+func (c *Collector) traceGlobals(globals []code.Word) {
+	for i, g := range c.Prog.Globals {
+		if c.Strat == StratTagged {
+			globals[i] = c.traceTaggedWord(globals[i])
+		} else {
+			gc := c.FromDesc(g.Desc, nil)
+			globals[i] = gc.Trace(c, globals[i])
+		}
+	}
+}
+
+// collectSerial is the sequential oracle: task stacks scanned one at a
+// time, in task order. The parallel path re-runs it after a watchdog abort.
+func (c *Collector) collectSerial(tasks []TaskRoots, scans []TaskScan) {
+	for i := range tasks {
+		wordsBefore := c.Heap.Stats.WordsCopied
+		snap := c.Stats
+		if c.Strat == StratTagged {
+			c.collectTaggedTask(tasks[i])
+		} else {
+			c.collectTask(tasks[i])
+		}
+		scans[i] = TaskScan{
+			Task:    i,
+			Frames:  c.Stats.FramesTraced - snap.FramesTraced,
+			Slots:   c.Stats.SlotsTraced - snap.SlotsTraced,
+			Objects: c.Stats.ObjectsCopied - snap.ObjectsCopied,
+			Words:   c.Heap.Stats.WordsCopied - wordsBefore,
+		}
+	}
 }
 
 // collectTask walks one task's stack oldest→newest, passing type packages

@@ -1,0 +1,69 @@
+package gc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Fault injection and GC torture. A collector's recovery paths — emergency
+// collections, heap growth, per-task faulting, the parallel watchdog — are
+// exactly the paths ordinary workloads never exercise. FaultPlan makes
+// them exercisable on demand, deterministically: every decision derives
+// from an allocation counter and a seeded PRNG, so a failing torture run
+// replays exactly.
+//
+// A plan is shared by the mutator (which consults FailAlloc/Torture before
+// each allocation) and the parallel collector (which applies WorkerDelay
+// and Watchdog to its scan workers). The outcome counters live in
+// Telemetry.Resilience, next to the rest of the per-run GC accounting.
+
+// FaultPlan configures deterministic allocation-failure injection and GC
+// torture. The zero value injects nothing.
+type FaultPlan struct {
+	// FailNth fails the Nth mutator allocation (1-based) once.
+	FailNth int64
+	// FailEvery fails every Kth mutator allocation.
+	FailEvery int64
+	// FailProb fails each allocation with this probability, drawn from a
+	// PRNG seeded with Seed (deterministic for a fixed seed).
+	FailProb float64
+	Seed     int64
+	// Torture forces a collection before every allocation — the classic
+	// GC-torture discipline: any root the compiler's frame maps miss dies
+	// at the very next allocation instead of surviving by luck.
+	Torture bool
+	// WorkerDelay stalls each parallel scan worker before it scans a
+	// claimed stack (watchdog testing).
+	WorkerDelay time.Duration
+	// Watchdog bounds the parallel scan phase: when it expires, workers
+	// are aborted and the collection falls back to the sequential path.
+	Watchdog time.Duration
+
+	allocs int64
+	rng    *rand.Rand
+}
+
+// FailAlloc reports whether the current mutator allocation should fail.
+// Callers consult it once per allocation attempt; injected failures are
+// expected to trigger the same recovery ladder a genuine OOM would.
+func (p *FaultPlan) FailAlloc() bool {
+	p.allocs++
+	if p.FailNth > 0 && p.allocs == p.FailNth {
+		return true
+	}
+	if p.FailEvery > 0 && p.allocs%p.FailEvery == 0 {
+		return true
+	}
+	if p.FailProb > 0 {
+		if p.rng == nil {
+			p.rng = rand.New(rand.NewSource(p.Seed))
+		}
+		if p.rng.Float64() < p.FailProb {
+			return true
+		}
+	}
+	return false
+}
+
+// Allocs returns how many allocation decisions the plan has made.
+func (p *FaultPlan) Allocs() int64 { return p.allocs }

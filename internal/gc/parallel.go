@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tagfree/internal/code"
 	"tagfree/internal/heap"
@@ -41,13 +42,16 @@ type rootJob struct {
 }
 
 // collectParallel scans all task stacks with c.Parallelism workers.
-// Globals were already traced serially by Collect.
-func (c *Collector) collectParallel(tasks []TaskRoots, scans []TaskScan) {
+// Globals were already traced serially by Collect (the mark path needs
+// them again — with the marked-word baseline markedAtStart — to rebuild
+// state discarded after a watchdog abort). It returns false when the
+// watchdog aborted the parallel scan and the sequential fallback finished
+// the collection instead.
+func (c *Collector) collectParallel(tasks []TaskRoots, scans []TaskScan, globals []code.Word, markedAtStart int64) bool {
 	if c.Heap.Kind() == heap.MarkSweep {
-		c.collectParallelMark(tasks, scans)
-	} else {
-		c.collectParallelCopy(tasks, scans)
+		return c.collectParallelMark(tasks, scans, globals, markedAtStart)
 	}
+	return c.collectParallelCopy(tasks, scans)
 }
 
 // scanOrder returns the order workers claim task stacks in: identity, or a
@@ -65,13 +69,28 @@ func (c *Collector) scanOrder(n int) []int {
 }
 
 // runWorkers fans scan over the task indexes with min(Parallelism, n)
-// goroutines pulling from a shared atomic cursor.
-func (c *Collector) runWorkers(n int, scan func(i int)) {
+// goroutines pulling from a shared atomic cursor. It returns false when
+// the fault plan's watchdog expired before the workers finished: stacks
+// not yet claimed are skipped, in-flight scans run to completion (a scan
+// cannot be interrupted mid-object safely), and the caller must discard
+// the partial work and fall back to the sequential path.
+func (c *Collector) runWorkers(n int, scan func(i int)) bool {
 	order := c.scanOrder(n)
 	workers := c.Parallelism
 	if workers > n {
 		workers = n
 	}
+	var delay time.Duration
+	var watchdog <-chan time.Time
+	if c.Faults != nil {
+		delay = c.Faults.WorkerDelay
+		if c.Faults.Watchdog > 0 {
+			timer := time.NewTimer(c.Faults.Watchdog)
+			defer timer.Stop()
+			watchdog = timer.C
+		}
+	}
+	var aborted atomic.Bool
 	var cursor int64 = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -79,15 +98,37 @@ func (c *Collector) runWorkers(n int, scan func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if aborted.Load() {
+					return
+				}
 				k := atomic.AddInt64(&cursor, 1)
 				if k >= int64(n) {
 					return
+				}
+				if delay > 0 {
+					time.Sleep(delay)
+					if aborted.Load() {
+						return // stalled past the watchdog: skip the claimed stack
+					}
 				}
 				scan(order[k])
 			}
 		}()
 	}
-	wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-watchdog:
+		aborted.Store(true)
+		<-done // join in-flight scans before touching shared state
+		c.Telem.Resilience.WatchdogTrips++
+		return false
+	}
 }
 
 // mergeStats folds a worker's local counters into the collector's.
@@ -104,12 +145,18 @@ func mergeStats(into, from *Stats) {
 // Copying: parallel resolution, ordered tracing.
 // ---------------------------------------------------------------------------
 
-func (c *Collector) collectParallelCopy(tasks []TaskRoots, scans []TaskScan) {
+func (c *Collector) collectParallelCopy(tasks []TaskRoots, scans []TaskScan) bool {
 	jobLists := make([][]rootJob, len(tasks))
 	local := make([]Stats, len(tasks))
-	c.runWorkers(len(tasks), func(i int) {
+	if !c.runWorkers(len(tasks), func(i int) {
 		jobLists[i] = c.taskJobs(tasks[i], &local[i])
-	})
+	}) {
+		// Watchdog abort. Phase 1 only read the stopped stacks and built
+		// job lists; no heap or stack word was written, so the fallback can
+		// simply discard them and run the sequential oracle.
+		c.serialFallback(tasks, scans)
+		return false
+	}
 	for i := range tasks {
 		mergeStats(&c.Stats, &local[i])
 		wordsBefore := c.Heap.Stats.WordsCopied
@@ -126,6 +173,14 @@ func (c *Collector) collectParallelCopy(tasks []TaskRoots, scans []TaskScan) {
 			Words:   c.Heap.Stats.WordsCopied - wordsBefore,
 		}
 	}
+	return true
+}
+
+// serialFallback finishes an aborted parallel collection on the sequential
+// path, producing the same heap the oracle would have.
+func (c *Collector) serialFallback(tasks []TaskRoots, scans []TaskScan) {
+	c.Telem.Resilience.SerialFallbacks++
+	c.collectSerial(tasks, scans)
 }
 
 // taskJobs resolves one task's complete root set without mutating the
@@ -192,17 +247,27 @@ func (c *Collector) frameJobs(jobs []rootJob, siteIdx int, site *code.SiteInfo, 
 // Mark/sweep: fully parallel marking.
 // ---------------------------------------------------------------------------
 
-func (c *Collector) collectParallelMark(tasks []TaskRoots, scans []TaskScan) {
+func (c *Collector) collectParallelMark(tasks []TaskRoots, scans []TaskScan, globals []code.Word, markedAtStart int64) bool {
 	local := make([]Stats, len(tasks))
 	words := make([]int64, len(tasks))
-	c.runWorkers(len(tasks), func(i int) {
+	if !c.runWorkers(len(tasks), func(i int) {
 		st := &local[i]
 		jobs := c.taskJobs(tasks[i], st)
 		for _, j := range jobs {
 			words[i] += c.markValue(j.g, tasks[i].Stack[j.idx], st)
 			st.SlotsTraced++
 		}
-	})
+	}) {
+		// Watchdog abort. Marking wrote mark bits and bumped the marked-word
+		// counter but never moved an object or wrote a heap/stack word:
+		// clear every mark (including the globals'), roll the counter back
+		// to the top of the collection, and re-mark sequentially.
+		c.Heap.ResetMarks()
+		c.Heap.Stats.WordsCopied = markedAtStart
+		c.traceGlobals(globals)
+		c.serialFallback(tasks, scans)
+		return false
+	}
 	for i := range tasks {
 		mergeStats(&c.Stats, &local[i])
 		scans[i] = TaskScan{
@@ -213,6 +278,7 @@ func (c *Collector) collectParallelMark(tasks []TaskRoots, scans []TaskScan) {
 			Words:   words[i],
 		}
 	}
+	return true
 }
 
 // markValue marks the structure reachable from one root without writing a

@@ -46,6 +46,9 @@ type CollectionRecord struct {
 	SlotsTraced  int64 `json:"slots_traced"`
 	// WordsScanned counts tag-driven word scans (tagged strategy only).
 	WordsScanned int64 `json:"words_scanned,omitempty"`
+	// SerialFallback marks a collection whose parallel scan was aborted by
+	// the watchdog and redone sequentially (Parallelism reads 1).
+	SerialFallback bool `json:"serial_fallback,omitempty"`
 	// FreeListHitPct is the share of mutator allocations since the last
 	// collection that recycled a free-list block (mark/sweep only; -1 when
 	// no allocations happened in the interval or the heap is copying).
@@ -107,15 +110,39 @@ type Telemetry struct {
 	Records      []CollectionRecord     `json:"records"`
 	PauseHist    [PauseBuckets]int64    `json:"pause_hist"`
 	SurvivorHist [SurvivorBuckets]int64 `json:"survivor_hist"`
+	// Resilience counts fault-injection and recovery-ladder outcomes.
+	Resilience ResilienceStats `json:"resilience,omitzero"`
 
 	// Interval baselines for per-collection allocation rates.
 	lastAllocs int64
 	lastHits   int64
 }
 
+// ResilienceStats counts memory-pressure events and their outcomes: what
+// was injected (OOMs, forced collections, stalled workers) and how the
+// runtime recovered (growth, serial fallback) or did not (task faults).
+type ResilienceStats struct {
+	// InjectedOOMs counts allocation failures forced by a FaultPlan.
+	InjectedOOMs int64 `json:"injected_ooms,omitempty"`
+	// TortureCollections counts collections forced by torture mode.
+	TortureCollections int64 `json:"torture_collections,omitempty"`
+	// WatchdogTrips counts parallel scans aborted by the watchdog;
+	// SerialFallbacks counts the sequential re-runs that rescued them.
+	WatchdogTrips   int64 `json:"watchdog_trips,omitempty"`
+	SerialFallbacks int64 `json:"serial_fallbacks,omitempty"`
+	// EmergencyCollections counts collections triggered by an allocation
+	// failure (genuine or injected) rather than a Need pre-check.
+	EmergencyCollections int64 `json:"emergency_collections,omitempty"`
+	// HeapGrowths counts recovery-ladder heap growths.
+	HeapGrowths int64 `json:"heap_growths,omitempty"`
+	// TaskFaults counts tasks faulted after the ladder was exhausted or a
+	// runtime error.
+	TaskFaults int64 `json:"task_faults,omitempty"`
+}
+
 // record appends one collection's telemetry. statsBefore/heapBefore are
 // snapshots from the top of Collect; usedBefore the pre-flip occupancy.
-func (t *Telemetry) record(c *Collector, pauseNS int64, parallel bool, scans []TaskScan, usedBefore int, statsBefore Stats, heapBefore heap.Stats) {
+func (t *Telemetry) record(c *Collector, pauseNS int64, parallel, fallback bool, scans []TaskScan, usedBefore int, statsBefore Stats, heapBefore heap.Stats) {
 	if t.Strategy == "" {
 		t.Strategy = c.Strat.String()
 		if c.Heap.Kind() == heap.MarkSweep {
@@ -125,7 +152,7 @@ func (t *Telemetry) record(c *Collector, pauseNS int64, parallel bool, scans []T
 		}
 	}
 	par := 1
-	if parallel {
+	if parallel && !fallback {
 		par = c.Parallelism
 	}
 	live := c.Heap.Stats.LiveAfterLastGC
@@ -152,6 +179,7 @@ func (t *Telemetry) record(c *Collector, pauseNS int64, parallel bool, scans []T
 		FramesTraced:   c.Stats.FramesTraced - statsBefore.FramesTraced,
 		SlotsTraced:    c.Stats.SlotsTraced - statsBefore.SlotsTraced,
 		WordsScanned:   c.Stats.WordsScanned - statsBefore.WordsScanned,
+		SerialFallback: fallback,
 		FreeListHitPct: hitPct,
 		Tasks:          scans,
 	}

@@ -103,7 +103,7 @@ func TestF4ArrowDecomposition(t *testing.T) {
 func mkList(h *heap.Heap, vals []int64) code.Word {
 	tail := code.Word(0) // [] is nullary tag 0
 	for i := len(vals) - 1; i >= 0; i-- {
-		cell := h.Alloc(2)
+		cell := h.MustAlloc(2)
 		h.SetField(cell, 0, code.EncodeInt(h.Repr, vals[i]))
 		h.SetField(cell, 1, tail)
 		tail = cell
@@ -124,7 +124,7 @@ func TestDataTraceCopiesList(t *testing.T) {
 	c := newTestCollector(t, code.ReprTagFree, StratCompiled, 4096)
 	h := c.Heap
 	lst := mkList(h, []int64{1, 2, 3, 4, 5})
-	h.Alloc(100) // garbage
+	h.MustAlloc(100) // garbage
 
 	intList := &code.TypeDesc{Kind: code.TDData, Index: 0,
 		Args: []*code.TypeDesc{{Kind: code.TDConst}}}
@@ -178,10 +178,10 @@ func TestSharedStructurePreserved(t *testing.T) {
 	c := newTestCollector(t, code.ReprTagFree, StratCompiled, 4096)
 	h := c.Heap
 	shared := mkList(h, []int64{10, 20})
-	a := h.Alloc(2)
+	a := h.MustAlloc(2)
 	h.SetField(a, 0, code.EncodeInt(h.Repr, 1))
 	h.SetField(a, 1, shared)
-	b := h.Alloc(2)
+	b := h.MustAlloc(2)
 	h.SetField(b, 0, code.EncodeInt(h.Repr, 2))
 	h.SetField(b, 1, shared)
 
@@ -207,7 +207,7 @@ func TestTreeTraceWithTagless(t *testing.T) {
 	h := c.Heap
 	leaf := code.Word(0)
 	mkNode := func(l code.Word, v int64, r code.Word) code.Word {
-		n := h.Alloc(3)
+		n := h.MustAlloc(3)
 		h.SetField(n, 0, l)
 		h.SetField(n, 1, code.EncodeInt(h.Repr, v))
 		h.SetField(n, 2, r)

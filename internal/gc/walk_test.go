@@ -103,7 +103,7 @@ func TestEnvTypeArgsFromRepWords(t *testing.T) {
 	}
 	intListRep := c.Prog.Reps.Intern(code.TDData, 0,
 		[]int{c.Prog.Reps.Intern(code.TDConst, 0, nil)})
-	clos := c.Heap.Alloc(2)
+	clos := c.Heap.MustAlloc(2)
 	c.Heap.SetField(clos, 0, code.EncodeInt(code.ReprTagFree, 7)) // code ptr
 	c.Heap.SetField(clos, 1, code.EncodeInt(code.ReprTagFree, int64(intListRep)))
 
@@ -133,7 +133,7 @@ func TestEnvTypeArgsFromDerivation(t *testing.T) {
 	ref := c.FromDesc(&code.TypeDesc{Kind: code.TDArrow,
 		Args: []*code.TypeDesc{intList, {Kind: code.TDConst}}}, nil)
 
-	clos := c.Heap.Alloc(1)
+	clos := c.Heap.MustAlloc(1)
 	c.Heap.SetField(clos, 0, code.EncodeInt(code.ReprTagFree, 3))
 	env := c.envTypeArgs(fi, clos, ref)
 	if env[0] != c.b.Const() {

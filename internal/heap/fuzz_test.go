@@ -55,7 +55,7 @@ func FuzzMarkSweepFreeList(f *testing.F) {
 					// block) — allocating would OOM, skip.
 					continue
 				}
-				ptr := h.Alloc(size)
+				ptr := h.MustAlloc(size)
 				base := h.addrIndex(ptr)
 				if int(h.objSize[base]) != size {
 					t.Fatalf("alloc(%d): objSize[%d] = %d", size, base, h.objSize[base])

@@ -47,6 +47,9 @@ type Stats struct {
 	// FreeListHits counts mark/sweep allocations served by recycling a
 	// free-list block instead of bumping (telemetry: free-list hit rate).
 	FreeListHits int64
+	// Growths counts successful Grow calls (the OOM recovery ladder's
+	// grow rung).
+	Growths int64
 }
 
 // Heap is a garbage-collected heap over a flat word array: a semispace
@@ -72,16 +75,28 @@ type Heap struct {
 	// marks holds one mark word per heap word (nonzero = marked). It is
 	// uint32 rather than bool so parallel marking can claim objects with an
 	// atomic compare-and-swap (VisitShared).
-	marks []uint32
-	free  map[int][]int
+	marks   []uint32
+	free    map[int][]int
 	gapSize []int32
 	// debugAccess validates every field access against the mark/sweep
 	// allocation map (tests only).
 	debugAccess bool
 	// poison overwrites freed blocks with PoisonWord during sweeps.
 	poison bool
-	Stats  Stats
+	// verify enables span recording during copying collections so
+	// VerifyHeap can check forwarding completeness (see verify.go).
+	verify bool
+	// spans records every object copied by the most recent collection, in
+	// copy order (ascending base). spansValid is true only between EndGC
+	// and the next mutator allocation, the window in which the spans tile
+	// the active space exactly.
+	spans      []span
+	spansValid bool
+	Stats      Stats
 }
+
+// span is one live object's extent recorded during a verified collection.
+type span struct{ base, size int }
 
 // New creates a heap with the given semispace size in words.
 func New(repr code.Repr, semiWords int) *Heap {
@@ -132,31 +147,47 @@ func (h *Heap) objWords(fields int) int {
 	return fields
 }
 
-// Alloc allocates an object with n fields and returns its encoded pointer.
-// The caller must have ensured space (Need returned false, possibly after a
-// collection). Fields are uninitialized; in tagged mode the header is
+// Alloc allocates an object with n fields and returns its encoded pointer,
+// or a *OutOfMemoryError when the space is exhausted. Exhaustion is an
+// ordinary return value — not a panic — so callers (the VM, the tasking
+// scheduler) can climb the recovery ladder: collect, retry, grow, and only
+// then fault. Fields are uninitialized; in tagged mode the header is
 // written.
-func (h *Heap) Alloc(n int) code.Word {
+func (h *Heap) Alloc(n int) (code.Word, error) {
 	total := h.objWords(n)
 	if h.kind == MarkSweep {
 		return h.msAlloc(total)
 	}
 	if h.alloc+total > h.limit {
-		panic(&OutOfMemoryError{Requested: total, Free: h.limit - h.alloc})
+		return 0, h.oomError(total)
 	}
 	base := h.alloc
 	h.alloc += total
+	h.spansValid = false
 	h.Stats.Allocations++
 	h.Stats.WordsAllocated += int64(total)
 	if h.Repr == code.ReprTagged {
 		h.mem[base] = code.Word(n)<<1 | 1 // odd header: field count
 	}
-	return code.EncodePtr(h.Repr, code.HeapBase+base)
+	return code.EncodePtr(h.Repr, code.HeapBase+base), nil
+}
+
+// MustAlloc is Alloc for callers that have already ensured space (Need
+// returned false, possibly after a collection): it panics on exhaustion.
+func (h *Heap) MustAlloc(n int) code.Word {
+	ptr, err := h.Alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return ptr
 }
 
 // OutOfMemoryError reports heap exhaustion that a collection did not cure.
 type OutOfMemoryError struct {
-	Requested int
+	// Discipline names the heap discipline that ran out ("copying" or
+	// "mark/sweep"), so both variants report uniformly.
+	Discipline string
+	Requested  int
 	// Free is the contiguous bump-region space still available.
 	Free int
 	// FreeListWords is the storage parked on mark/sweep free lists whose
@@ -166,13 +197,27 @@ type OutOfMemoryError struct {
 	FreeListWords int
 }
 
-// Error implements the error interface.
+// Error implements the error interface. The format is uniform across both
+// disciplines: "heap exhausted (<discipline>): need N words, M contiguous
+// free", with the mismatched free-list storage appended when nonzero.
 func (e *OutOfMemoryError) Error() string {
+	s := fmt.Sprintf("heap exhausted (%s): need %d words, %d contiguous free",
+		e.Discipline, e.Requested, e.Free)
 	if e.FreeListWords > 0 {
-		return fmt.Sprintf("heap exhausted: need %d words, %d contiguous free (%d more words on mismatched free lists)",
-			e.Requested, e.Free, e.FreeListWords)
+		s += fmt.Sprintf(" (%d more words on mismatched free lists)", e.FreeListWords)
 	}
-	return fmt.Sprintf("heap exhausted: need %d words, %d free", e.Requested, e.Free)
+	return s
+}
+
+// oomError builds the typed exhaustion failure for a request of total
+// words, capturing the current discipline's free-space picture.
+func (h *Heap) oomError(total int) *OutOfMemoryError {
+	e := &OutOfMemoryError{Discipline: "copying", Requested: total, Free: h.limit - h.alloc}
+	if h.kind == MarkSweep {
+		e.Discipline = "mark/sweep"
+		e.FreeListWords = h.FreeListWords()
+	}
+	return e
 }
 
 // addrIndex converts an encoded pointer to a mem index.
@@ -222,6 +267,8 @@ func (h *Heap) BeginGC() {
 	}
 	h.inGC = true
 	h.Stats.Collections++
+	h.spans = h.spans[:0]
+	h.spansValid = false
 	if h.kind == MarkSweep {
 		return // marking happens in place; nothing to flip
 	}
@@ -250,6 +297,7 @@ func (h *Heap) EndGC() {
 			h.forward[i] = -1
 		}
 	}
+	h.spansValid = h.verify
 }
 
 // InGC reports whether a collection is in progress.
@@ -306,11 +354,14 @@ func (h *Heap) CopyObject(ptr code.Word, n int) code.Word {
 	}
 	total := h.objWords(n)
 	if h.alloc+total > h.limit {
-		panic(&OutOfMemoryError{Requested: total, Free: h.limit - h.alloc})
+		panic(h.oomError(total))
 	}
 	oldBase := h.addrIndex(ptr)
 	newBase := h.alloc
 	h.alloc += total
+	if h.verify {
+		h.spans = append(h.spans, span{base: newBase, size: total})
+	}
 	copy(h.mem[newBase:newBase+total], h.mem[oldBase:oldBase+total])
 	h.Stats.WordsCopied += int64(total)
 	newPtr := code.EncodePtr(h.Repr, code.HeapBase+newBase)
@@ -320,4 +371,59 @@ func (h *Heap) CopyObject(ptr code.Word, n int) code.Word {
 		h.mem[oldBase] = newPtr // broken heart (even)
 	}
 	return newPtr
+}
+
+// Grow extends the heap to newWords words per semispace (copying) or total
+// (mark/sweep) without moving any object: every live pointer stays valid.
+// It is the recovery ladder's second rung, taken only when a collection did
+// not free enough space. Growing is refused during a collection and when
+// newWords does not exceed the current size.
+//
+// Copying layout after a grow: the live from-space keeps its base offset,
+// and the two (larger) spaces are laid out back-to-back above it. When the
+// old from-space sat above the old to-space, the words below it become a
+// permanently dead prefix — at most one pre-grow semispace per grow, a
+// geometrically-shrinking overhead under any growth factor > 1 — which
+// keeps growth O(live) with zero relocation.
+func (h *Heap) Grow(newWords int) error {
+	if h.inGC {
+		return fmt.Errorf("heap: Grow during a collection")
+	}
+	if newWords <= h.semi {
+		return fmt.Errorf("heap: Grow(%d) does not exceed the current %d words", newWords, h.semi)
+	}
+	if h.kind == MarkSweep {
+		mem := make([]code.Word, newWords)
+		copy(mem, h.mem)
+		objSize := make([]int32, newWords)
+		copy(objSize, h.objSize)
+		marks := make([]uint32, newWords)
+		copy(marks, h.marks)
+		h.mem, h.objSize, h.marks = mem, objSize, marks
+		if h.gapSize != nil {
+			gapSize := make([]int32, newWords)
+			copy(gapSize, h.gapSize)
+			h.gapSize = gapSize
+		}
+		h.semi = newWords
+		h.limit = newWords
+		h.spansValid = false
+		h.Stats.Growths++
+		return nil
+	}
+	mem := make([]code.Word, h.fromOff+2*newWords)
+	copy(mem[h.fromOff:], h.mem[h.fromOff:h.alloc])
+	h.mem = mem
+	h.toOff = h.fromOff + newWords
+	h.limit = h.fromOff + newWords
+	h.semi = newWords
+	if h.Repr == code.ReprTagFree {
+		h.forward = make([]int, newWords)
+		for i := range h.forward {
+			h.forward[i] = -1
+		}
+	}
+	h.spansValid = false
+	h.Stats.Growths++
+	return nil
 }

@@ -9,8 +9,8 @@ import (
 
 func TestAllocTagFree(t *testing.T) {
 	h := New(code.ReprTagFree, 100)
-	p1 := h.Alloc(2)
-	p2 := h.Alloc(3)
+	p1 := h.MustAlloc(2)
+	p2 := h.MustAlloc(3)
 	if p1 == p2 {
 		t.Fatal("distinct allocations share an address")
 	}
@@ -27,7 +27,7 @@ func TestAllocTagFree(t *testing.T) {
 
 func TestAllocTaggedHeaders(t *testing.T) {
 	h := New(code.ReprTagged, 100)
-	p := h.Alloc(2)
+	p := h.MustAlloc(2)
 	if h.Used() != 3 {
 		t.Fatalf("used = %d, want 3 (header + 2 fields)", h.Used())
 	}
@@ -45,7 +45,7 @@ func TestNeed(t *testing.T) {
 	if h.Need(10) {
 		t.Fatal("empty heap should fit 10 words")
 	}
-	h.Alloc(8)
+	h.MustAlloc(8)
 	if !h.Need(3) {
 		t.Fatal("should need collection for 3 more words")
 	}
@@ -56,12 +56,12 @@ func TestNeed(t *testing.T) {
 
 func TestCopyCollectTagFree(t *testing.T) {
 	h := New(code.ReprTagFree, 100)
-	p1 := h.Alloc(2)
+	p1 := h.MustAlloc(2)
 	h.SetField(p1, 0, 1)
 	h.SetField(p1, 1, 2)
-	garbage := h.Alloc(10)
+	garbage := h.MustAlloc(10)
 	_ = garbage
-	p2 := h.Alloc(1)
+	p2 := h.MustAlloc(1)
 	h.SetField(p2, 0, p1) // p2 points at p1
 
 	h.BeginGC()
@@ -88,7 +88,7 @@ func TestCopyCollectTagFree(t *testing.T) {
 		t.Fatalf("stats: %+v", h.Stats)
 	}
 	// New space allocations work.
-	p3 := h.Alloc(4)
+	p3 := h.MustAlloc(4)
 	h.SetField(p3, 3, 123)
 	if h.Field(p3, 3) != 123 {
 		t.Fatal("post-GC allocation broken")
@@ -97,7 +97,7 @@ func TestCopyCollectTagFree(t *testing.T) {
 
 func TestCopyCollectTaggedBrokenHeart(t *testing.T) {
 	h := New(code.ReprTagged, 100)
-	p := h.Alloc(3)
+	p := h.MustAlloc(3)
 	h.SetField(p, 0, code.EncodeInt(code.ReprTagged, 5))
 	h.BeginGC()
 	n := h.CopyObject(p, 3)
@@ -112,11 +112,11 @@ func TestCopyCollectTaggedBrokenHeart(t *testing.T) {
 
 func TestForwardingTableCleared(t *testing.T) {
 	h := New(code.ReprTagFree, 50)
-	p := h.Alloc(1)
+	p := h.MustAlloc(1)
 	h.BeginGC()
 	h.CopyObject(p, 1)
 	h.EndGC()
-	p2 := h.Alloc(1)
+	p2 := h.MustAlloc(1)
 	h.BeginGC()
 	if _, ok := h.Forwarded(p2); ok {
 		t.Fatal("stale forwarding entry survived the flip")
@@ -124,28 +124,51 @@ func TestForwardingTableCleared(t *testing.T) {
 	h.EndGC()
 }
 
-func TestOutOfMemoryPanics(t *testing.T) {
+func TestOutOfMemoryError(t *testing.T) {
 	h := New(code.ReprTagFree, 4)
+	_, err := h.Alloc(10)
+	oom, ok := err.(*OutOfMemoryError)
+	if !ok {
+		t.Fatalf("Alloc(10) error = %v, want *OutOfMemoryError", err)
+	}
+	if oom.Discipline != "copying" || oom.Requested != 10 || oom.Free != 4 {
+		t.Fatalf("OutOfMemoryError = %+v, want Discipline=copying Requested=10 Free=4", oom)
+	}
+	// MustAlloc converts the same failure to a panic for pre-checked callers.
 	defer func() {
-		if r := recover(); r == nil {
-			t.Fatal("expected OutOfMemoryError panic")
-		} else if _, ok := r.(*OutOfMemoryError); !ok {
-			t.Fatalf("unexpected panic: %v", r)
+		if _, ok := recover().(*OutOfMemoryError); !ok {
+			t.Fatal("MustAlloc did not panic with OutOfMemoryError")
 		}
 	}()
-	h.Alloc(10)
+	h.MustAlloc(10)
+}
+
+// TestOOMErrorUniformFormat pins the satellite fix: both disciplines report
+// exhaustion with the same Error() shape, naming the discipline and the
+// requested/free words.
+func TestOOMErrorUniformFormat(t *testing.T) {
+	hc := New(code.ReprTagFree, 4)
+	_, errC := hc.Alloc(6)
+	if got := errC.Error(); got != "heap exhausted (copying): need 6 words, 4 contiguous free" {
+		t.Fatalf("copying OOM message = %q", got)
+	}
+	hm := NewMarkSweep(code.ReprTagFree, 4)
+	_, errM := hm.Alloc(6)
+	if got := errM.Error(); got != "heap exhausted (mark/sweep): need 6 words, 4 contiguous free" {
+		t.Fatalf("mark/sweep OOM message = %q", got)
+	}
 }
 
 func TestScanToSpaceCheney(t *testing.T) {
 	h := New(code.ReprTagged, 200)
 	// A chain a -> b -> c plus garbage between.
-	c := h.Alloc(1)
+	c := h.MustAlloc(1)
 	h.SetField(c, 0, code.EncodeInt(code.ReprTagged, 3))
-	h.Alloc(5)
-	b := h.Alloc(1)
+	h.MustAlloc(5)
+	b := h.MustAlloc(1)
 	h.SetField(b, 0, c)
-	h.Alloc(7)
-	a := h.Alloc(1)
+	h.MustAlloc(7)
+	a := h.MustAlloc(1)
 	h.SetField(a, 0, b)
 
 	h.BeginGC()
@@ -185,7 +208,7 @@ func TestGraphPreservationProperty(t *testing.T) {
 		// small ints or pointers to earlier nodes.
 		var nodes []code.Word
 		for i, s := range seed16 {
-			p := h.Alloc(2)
+			p := h.MustAlloc(2)
 			for fno := 0; fno < 2; fno++ {
 				sel := (int(s) >> (fno * 4)) & 0xf
 				if len(nodes) > 0 && sel < 8 {

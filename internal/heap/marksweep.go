@@ -63,8 +63,9 @@ func (h *Heap) msCanAlloc(n int) bool {
 	return len(h.free[n]) > 0
 }
 
-// msAlloc allocates n words from the bump region or the free lists.
-func (h *Heap) msAlloc(n int) code.Word {
+// msAlloc allocates n words from the bump region or the free lists,
+// returning a typed *OutOfMemoryError when neither can serve the request.
+func (h *Heap) msAlloc(n int) (code.Word, error) {
 	var base int
 	switch {
 	case h.alloc+n <= h.limit:
@@ -76,12 +77,13 @@ func (h *Heap) msAlloc(n int) code.Word {
 		h.free[n] = l[:len(l)-1]
 		h.Stats.FreeListHits++
 	default:
-		panic(&OutOfMemoryError{Requested: n, Free: h.limit - h.alloc, FreeListWords: h.FreeListWords()})
+		return 0, h.oomError(n)
 	}
 	h.objSize[base] = int32(n)
+	h.spansValid = false
 	h.Stats.Allocations++
 	h.Stats.WordsAllocated += int64(n)
-	return code.EncodePtr(h.Repr, code.HeapBase+base)
+	return code.EncodePtr(h.Repr, code.HeapBase+base), nil
 }
 
 // VisitObject is the collector's single object-retention primitive: under
@@ -134,6 +136,18 @@ func (h *Heap) VisitShared(ptr code.Word, n int) (code.Word, bool) {
 	}
 	atomic.AddInt64(&h.Stats.WordsCopied, int64(n))
 	return ptr, true
+}
+
+// ResetMarks clears every mark bit without sweeping. The parallel
+// collector uses it to discard a partially-marked heap after a watchdog
+// abort, so the serial fallback can re-mark from scratch.
+func (h *Heap) ResetMarks() {
+	if h.kind != MarkSweep {
+		panic("ResetMarks: requires a mark/sweep heap")
+	}
+	for i := range h.marks {
+		h.marks[i] = 0
+	}
 }
 
 // FreeListWords returns the total storage parked on the mark/sweep free

@@ -12,7 +12,7 @@ import (
 func TestMarkSweepCycles(t *testing.T) {
 	h := NewMarkSweep(code.ReprTagFree, 64)
 	alloc := func(vals ...code.Word) code.Word {
-		p := h.Alloc(len(vals))
+		p := h.MustAlloc(len(vals))
 		for i, v := range vals {
 			h.SetField(p, i, v)
 		}
@@ -90,8 +90,8 @@ func TestMarkSweepCycles(t *testing.T) {
 // collections without being reallocated.
 func TestMarkSweepGapPersistence(t *testing.T) {
 	h := NewMarkSweep(code.ReprTagFree, 32)
-	a := h.Alloc(4)
-	b := h.Alloc(4)
+	a := h.MustAlloc(4)
+	b := h.MustAlloc(4)
 	h.SetField(b, 0, 99)
 	// a dies, b lives, across three collections.
 	for i := 0; i < 3; i++ {
@@ -104,7 +104,7 @@ func TestMarkSweepGapPersistence(t *testing.T) {
 		t.Fatal("b corrupted")
 	}
 	// The gap from a must be allocatable exactly once.
-	p := h.Alloc(4)
+	p := h.MustAlloc(4)
 	if p == b {
 		t.Fatal("allocator returned a live block")
 	}
@@ -118,9 +118,9 @@ func TestPoisonedSweep(t *testing.T) {
 	// Exactly-full heap: reallocation must reuse the swept block.
 	h := NewMarkSweep(code.ReprTagFree, 5)
 	h.SetPoison(true)
-	dead := h.Alloc(3)
+	dead := h.MustAlloc(3)
 	h.SetField(dead, 0, 111)
-	live := h.Alloc(2)
+	live := h.MustAlloc(2)
 	h.SetField(live, 0, 222)
 	h.BeginGC()
 	h.VisitObject(live, 2)
@@ -130,7 +130,7 @@ func TestPoisonedSweep(t *testing.T) {
 	}
 	// The dead block's memory is now sentinel-filled (read it raw via a
 	// fresh allocation of the same size, before writing fields).
-	p := h.Alloc(3)
+	p := h.MustAlloc(3)
 	if p != dead {
 		t.Fatalf("expected reuse of the freed block")
 	}
@@ -148,7 +148,7 @@ func TestPoisonedSweep(t *testing.T) {
 func TestMarkSweepOOMReportsFreeListWords(t *testing.T) {
 	h := NewMarkSweep(code.ReprTagFree, 32)
 	for i := 0; i < 8; i++ {
-		h.Alloc(4)
+		h.MustAlloc(4)
 	}
 	// Collect with nothing live: all 32 words land on the 4-word free list.
 	h.BeginGC()
@@ -159,7 +159,7 @@ func TestMarkSweepOOMReportsFreeListWords(t *testing.T) {
 
 	// A 4-word allocation recycles a free block.
 	hitsBefore := h.Stats.FreeListHits
-	h.Alloc(4)
+	h.MustAlloc(4)
 	if h.Stats.FreeListHits != hitsBefore+1 {
 		t.Fatal("4-word allocation did not recycle a free block")
 	}
@@ -168,17 +168,15 @@ func TestMarkSweepOOMReportsFreeListWords(t *testing.T) {
 	if !h.Need(3) {
 		t.Fatal("Need(3) false: exact-size free lists cannot satisfy a 3-word request")
 	}
-	defer func() {
-		oom, ok := recover().(*OutOfMemoryError)
-		if !ok {
-			t.Fatal("Alloc(3) did not panic with OutOfMemoryError")
-		}
-		if oom.Requested != 3 || oom.Free != 0 || oom.FreeListWords != 28 {
-			t.Fatalf("OutOfMemoryError = %+v, want Requested=3 Free=0 FreeListWords=28", oom)
-		}
-		if !strings.Contains(oom.Error(), "28 more words on mismatched free lists") {
-			t.Fatalf("error message hides the free-list storage: %q", oom.Error())
-		}
-	}()
-	h.Alloc(3)
+	_, err := h.Alloc(3)
+	oom, ok := err.(*OutOfMemoryError)
+	if !ok {
+		t.Fatalf("Alloc(3) error = %v, want *OutOfMemoryError", err)
+	}
+	if oom.Discipline != "mark/sweep" || oom.Requested != 3 || oom.Free != 0 || oom.FreeListWords != 28 {
+		t.Fatalf("OutOfMemoryError = %+v, want Discipline=mark/sweep Requested=3 Free=0 FreeListWords=28", oom)
+	}
+	if !strings.Contains(oom.Error(), "28 more words on mismatched free lists") {
+		t.Fatalf("error message hides the free-list storage: %q", oom.Error())
+	}
 }

@@ -409,6 +409,7 @@ func TestDifferentialWorkloadsCrossStrategy(t *testing.T) {
 						HeapWords:   hw,
 						MarkSweep:   cfg.MS,
 						Parallelism: par,
+						VerifyHeap:  true,
 					})
 					if err != nil {
 						t.Fatalf("par=%d: %v", par, err)
@@ -438,6 +439,7 @@ func TestDifferentialTaskWorkloadsCrossStrategy(t *testing.T) {
 						HeapWords:   w.HeapWords,
 						MarkSweep:   cfg.MS,
 						Parallelism: par,
+						VerifyHeap:  true,
 					})
 					if err != nil {
 						t.Fatalf("par=%d: %v", par, err)

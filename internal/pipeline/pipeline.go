@@ -6,6 +6,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"tagfree/internal/code"
 	"tagfree/internal/compile/codegen"
@@ -55,6 +56,43 @@ type Options struct {
 	Parallelism int
 	// MaxSteps bounds execution; 0 means effectively unbounded.
 	MaxSteps int64
+	// VerifyHeap runs the post-collection heap verifier after every
+	// collection (structural invariants plus a typed re-walk of all
+	// roots); a violation panics with *gc.VerifyError.
+	VerifyHeap bool
+	// Torture collects before every allocation — the heaviest fault
+	// schedule, exercising every allocation site as a GC point.
+	Torture bool
+	// FailAllocNth fails the Nth allocation once; FailAllocEvery fails
+	// every Kth. Both force the emergency-collection rung of the recovery
+	// ladder deterministically.
+	FailAllocNth   int64
+	FailAllocEvery int64
+	// GrowFactor > 1 enables the heap-growth rung of the recovery ladder;
+	// MaxHeapWords (0 = unbounded) is its hard ceiling in semispace words.
+	GrowFactor   float64
+	MaxHeapWords int
+	// WorkerDelay stalls each parallel GC worker before scanning;
+	// Watchdog bounds the parallel phase, falling back to the sequential
+	// oracle when exceeded. Fault-injection knobs for testing.
+	WorkerDelay time.Duration
+	Watchdog    time.Duration
+}
+
+// faultPlan assembles the fault-injection plan implied by the options, or
+// nil when no fault knob is set.
+func (o Options) faultPlan() *gc.FaultPlan {
+	if !o.Torture && o.FailAllocNth == 0 && o.FailAllocEvery == 0 &&
+		o.WorkerDelay == 0 && o.Watchdog == 0 {
+		return nil
+	}
+	return &gc.FaultPlan{
+		Torture:     o.Torture,
+		FailNth:     o.FailAllocNth,
+		FailEvery:   o.FailAllocEvery,
+		WorkerDelay: o.WorkerDelay,
+		Watchdog:    o.Watchdog,
+	}
 }
 
 // Result is the outcome of running a program.
@@ -180,6 +218,13 @@ func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result,
 		m.MaxSteps = opts.MaxSteps
 	}
 	m.Col.Parallelism = opts.Parallelism
+	m.Col.Faults = opts.faultPlan()
+	if opts.VerifyHeap {
+		m.Col.Verify = true
+		m.Heap.SetVerify(true)
+	}
+	m.GrowFactor = opts.GrowFactor
+	m.MaxHeapWords = opts.MaxHeapWords
 	raw, err := m.Run()
 	if err != nil {
 		return nil, err

@@ -206,6 +206,11 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 		}
 	}
 	b.WriteByte('\n')
+	if rs := t.Resilience; rs != (gc.ResilienceStats{}) {
+		fmt.Fprintf(&b, "resilience: injected-ooms=%d torture-collections=%d emergency-collections=%d heap-growths=%d watchdog-trips=%d serial-fallbacks=%d task-faults=%d\n",
+			rs.InjectedOOMs, rs.TortureCollections, rs.EmergencyCollections,
+			rs.HeapGrowths, rs.WatchdogTrips, rs.SerialFallbacks, rs.TaskFaults)
+	}
 	return b.String()
 }
 

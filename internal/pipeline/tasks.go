@@ -13,9 +13,14 @@ import (
 // TaskResult is the outcome of a multi-task run.
 type TaskResult struct {
 	// Values holds each task's decoded integer result, in entry order.
+	// A faulted task's value is 0; consult Faults to distinguish.
 	Values []int64
 	// Outputs holds each task's printed output.
 	Outputs []string
+	// Faults is aligned with Values: nil for a task that completed, the
+	// captured fault for one isolated by the recovery ladder or a runtime
+	// error. Siblings of a faulted task run to completion.
+	Faults  []*tasking.TaskFault
 	Stats   tasking.Stats
 	GCStats gc.Stats
 	Heap    heap.Stats
@@ -74,6 +79,13 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 		return nil, err
 	}
 	group.Col.Parallelism = opts.Parallelism
+	group.Col.Faults = opts.faultPlan()
+	if opts.VerifyHeap {
+		group.Col.Verify = true
+		group.Heap.SetVerify(true)
+	}
+	group.GrowFactor = opts.GrowFactor
+	group.MaxHeapWords = opts.MaxHeapWords
 	if opts.SuspendAtAllocs {
 		group.Policy = tasking.SuspendAtAllocs
 	}
@@ -94,8 +106,13 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 		Telemetry: &group.Col.Telem,
 	}
 	for _, t := range group.Tasks {
-		res.Values = append(res.Values, code.DecodeInt(prog.Repr, t.Result))
+		if t.Status == tasking.Faulted {
+			res.Values = append(res.Values, 0)
+		} else {
+			res.Values = append(res.Values, code.DecodeInt(prog.Repr, t.Result))
+		}
 		res.Outputs = append(res.Outputs, t.Out.String())
+		res.Faults = append(res.Faults, t.Fault)
 	}
 	return res, nil
 }

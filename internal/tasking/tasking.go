@@ -34,6 +34,7 @@ package tasking
 import (
 	"bytes"
 	"fmt"
+	"strings"
 
 	"tagfree/internal/code"
 	"tagfree/internal/gc"
@@ -49,8 +50,28 @@ const (
 	SuspendedAlloc
 	SuspendedCall
 	Done
-	Failed
+	// Faulted marks a task stopped by its own failure — a runtime error or
+	// an allocation the recovery ladder could not satisfy — with the cause
+	// captured in Task.Fault. Faulting is per-task: siblings keep running.
+	Faulted
 )
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case SuspendedAlloc:
+		return "suspended-alloc"
+	case SuspendedCall:
+		return "suspended-call"
+	case Done:
+		return "done"
+	case Faulted:
+		return "faulted"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
 
 // Task is one thread of control.
 type Task struct {
@@ -58,7 +79,9 @@ type Task struct {
 	Status Status
 	Result code.Word
 	Err    error
-	Out    bytes.Buffer
+	// Fault holds the structured failure record when Status is Faulted.
+	Fault *TaskFault
+	Out   bytes.Buffer
 
 	stack  []code.Word
 	sp     int
@@ -68,6 +91,83 @@ type Task struct {
 	shadow []int // function index per frame (interpreter bookkeeping only)
 	// pendingAlloc is the retry size while suspended at an allocation.
 	pendingAlloc int
+	// allocRetry marks a task resuming a suspended allocation: torture and
+	// fault injection skip the retry, or an injected failure would suspend
+	// the same allocation forever.
+	allocRetry bool
+}
+
+// FaultKind classifies a task fault.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultRuntime is a VM/runtime error (division by zero, match
+	// failure, illegal opcode, ...).
+	FaultRuntime FaultKind = iota
+	// FaultOOM is an allocation that failed after the whole recovery
+	// ladder: emergency collection, retry, and (when enabled) heap growth.
+	FaultOOM
+)
+
+// Frame is one activation record in a captured backtrace.
+type Frame struct {
+	// FP is the frame's base index in the task stack; PC the instruction
+	// the frame is at (the faulting instruction for the innermost frame,
+	// the pending call for each caller).
+	FP, PC int
+	Func   string
+}
+
+// TaskFault is the structured record of one task's failure: what happened
+// (Kind, Cause), where (Func, PC, the frame chain) and — for allocation
+// faults — how much was being requested.
+type TaskFault struct {
+	Task int
+	Kind FaultKind
+	PC   int
+	Func string
+	// AllocSize is the pending allocation's field count (FaultOOM only).
+	AllocSize int
+	Frames    []Frame
+	Cause     error
+}
+
+// Error implements the error interface.
+func (f *TaskFault) Error() string {
+	if f.Kind == FaultRuntime {
+		// Runtime-error causes come from errf, which already carries the
+		// task/function/pc context and the backtrace.
+		return f.Cause.Error()
+	}
+	return fmt.Sprintf("task %d faulted in %s at pc %d: allocation of %d fields failed after the recovery ladder: %v%s",
+		f.Task, f.Func, f.PC, f.AllocSize, f.Cause, backtraceString(f.Frames))
+}
+
+// Unwrap exposes the underlying cause (e.g. *heap.OutOfMemoryError).
+func (f *TaskFault) Unwrap() error { return f.Cause }
+
+// backtraceString renders a frame chain innermost-first for error text.
+// Deep recursions fault with thousands of live frames; only the innermost
+// few identify the failure, so display is capped.
+func backtraceString(frames []Frame) string {
+	if len(frames) == 0 {
+		return ""
+	}
+	const maxShown = 12
+	var b strings.Builder
+	b.WriteString("; backtrace:")
+	for i, fr := range frames {
+		if i == maxShown {
+			fmt.Fprintf(&b, " <- ... (%d more)", len(frames)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteString(" <-")
+		}
+		fmt.Fprintf(&b, " %s@pc%d(fp=%d)", fr.Func, fr.PC, fr.FP)
+	}
+	return b.String()
 }
 
 // Stats aggregates group-level measurements (experiment E7).
@@ -114,6 +214,14 @@ type Group struct {
 	Quantum int
 	// MaxSteps bounds total execution.
 	MaxSteps int64
+	// GrowFactor, when > 1, enables the recovery ladder's growth rung:
+	// after a collection that did not satisfy a pending allocation, the
+	// heap is grown by this factor (per semispace) until the allocation
+	// fits or MaxHeapWords is reached.
+	GrowFactor float64
+	// MaxHeapWords is the growth rung's hard ceiling in words per
+	// semispace (0 = unbounded).
+	MaxHeapWords int
 }
 
 // NewGroup builds a tasking group over a fresh semispace copying heap.
@@ -158,19 +266,28 @@ func (g *Group) RunInit() error {
 			return err
 		}
 		if t.Status == SuspendedAlloc {
-			// Init alone: collect immediately with only this stack.
+			// Init alone: collect immediately with only this stack, then
+			// climb the rest of the ladder. Init failure is group-fatal —
+			// no task can run without the globals.
 			g.collect([]*Task{t})
+			if !g.rescueAlloc(t.pendingAlloc) {
+				return t.errf(g, "%v", g.oomCause(t.pendingAlloc))
+			}
 			t.Status = Running
 		}
 	}
-	if t.Status == Failed {
+	if t.Status == Faulted {
 		return t.Err
 	}
 	return nil
 }
 
-// Run schedules the tasks round-robin until all finish. It returns the
-// first error encountered (after stopping the group).
+// Run schedules the tasks round-robin until every task is Done or Faulted.
+// Per-task failures do not abort the group: a task that trips a runtime
+// error or exhausts the recovery ladder transitions to Faulted (cause in
+// Task.Fault / Task.Err) and its siblings keep running. The returned error
+// reports only group-level failures — the step limit and scheduler
+// deadlock.
 func (g *Group) Run() error {
 	for {
 		pending, err := g.runUntilSuspended()
@@ -180,9 +297,7 @@ func (g *Group) Run() error {
 		if !pending {
 			return nil
 		}
-		if err := g.collectSuspended(); err != nil {
-			return err
-		}
+		g.collectSuspended()
 	}
 }
 
@@ -194,7 +309,7 @@ func (g *Group) runUntilSuspended() (bool, error) {
 		allDone := true
 		anyRan := false
 		for _, t := range g.Tasks {
-			if t.Status == Done || t.Status == Failed {
+			if t.Status == Done || t.Status == Faulted {
 				continue
 			}
 			allDone = false
@@ -203,9 +318,9 @@ func (g *Group) runUntilSuspended() (bool, error) {
 			}
 			anyRan = true
 			if err := g.step(t, g.Quantum); err != nil {
-				t.Status = Failed
-				t.Err = err
-				return false, err
+				// Fault isolation: the error stops this task only.
+				g.faultTask(t, FaultRuntime, 0, err)
+				continue
 			}
 			g.steps += int64(g.Quantum)
 			if g.steps > g.MaxSteps {
@@ -274,23 +389,103 @@ func (g *Group) allSuspended() bool {
 }
 
 // collectSuspended runs a stop-the-world collection over every live task
-// and resumes them. It reports heap exhaustion when the collection did not
-// make the pending allocations possible (otherwise the group would cycle
-// through collections forever).
-func (g *Group) collectSuspended() error {
+// and resumes them, climbing the rest of the recovery ladder for any task
+// whose pending allocation the collection did not satisfy: grow the heap
+// (when GrowFactor enables it) and, only when growth is off or capped,
+// fault that one task. Siblings always resume (otherwise the group would
+// either cycle through collections forever or die with one greedy task).
+func (g *Group) collectSuspended() {
 	live := g.pendingTasks()
 	g.collect(live)
 	g.Stats.SuspendLatency = append(g.Stats.SuspendLatency, g.latency)
 	g.latency = 0
 	for _, t := range live {
-		if t.Status == SuspendedAlloc && g.Heap.Need(t.pendingAlloc) {
-			t.Status = Failed
-			t.Err = t.errf(g, "heap exhausted (%d fields requested after collection)", t.pendingAlloc)
-			return t.Err
+		if t.Status == SuspendedAlloc && !g.rescueAlloc(t.pendingAlloc) {
+			g.faultTask(t, FaultOOM, t.pendingAlloc, g.oomCause(t.pendingAlloc))
+			continue
 		}
 		t.Status = Running
 	}
-	return nil
+}
+
+// rescueAlloc climbs the post-collection rungs of the ladder for a pending
+// allocation of n fields: if the collection freed enough, done; otherwise
+// grow the heap by GrowFactor per attempt up to the MaxHeapWords ceiling.
+func (g *Group) rescueAlloc(n int) bool {
+	if !g.Heap.Need(n) {
+		return true
+	}
+	for g.GrowFactor > 1 {
+		cur := g.Heap.SemiWords()
+		next := int(float64(cur) * g.GrowFactor)
+		if next <= cur {
+			next = cur + 1
+		}
+		if g.MaxHeapWords > 0 && next > g.MaxHeapWords {
+			next = g.MaxHeapWords
+		}
+		if next <= cur {
+			return false // ceiling reached
+		}
+		if err := g.Heap.Grow(next); err != nil {
+			return false
+		}
+		g.Col.Telem.Resilience.HeapGrowths++
+		if !g.Heap.Need(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// oomCause materializes the typed exhaustion error for a pending
+// allocation the ladder could not satisfy.
+func (g *Group) oomCause(n int) error {
+	if _, err := g.Heap.Alloc(n); err != nil {
+		return err
+	}
+	return fmt.Errorf("allocation of %d fields failed transiently", n)
+}
+
+// faultTask transitions one task to Faulted with a captured TaskFault.
+func (g *Group) faultTask(t *Task, kind FaultKind, allocSize int, cause error) {
+	name := "?"
+	if t.fidx >= 0 && t.fidx < len(g.Prog.Funcs) {
+		name = g.Prog.Funcs[t.fidx].Name
+	}
+	f := &TaskFault{
+		Task:      t.ID,
+		Kind:      kind,
+		PC:        t.pc,
+		Func:      name,
+		AllocSize: allocSize,
+		Frames:    g.backtrace(t),
+		Cause:     cause,
+	}
+	t.Status = Faulted
+	t.Fault = f
+	t.Err = f
+	g.Col.Telem.Resilience.TaskFaults++
+}
+
+// backtrace captures the task's frame chain, innermost first, bounded so
+// a fault deep in a recursion does not snapshot thousands of identical
+// frames. Function names come from the shadow stack; each caller's pc is
+// the call instruction stored as its callee's return address.
+func (g *Group) backtrace(t *Task) []Frame {
+	const maxFrames = 64
+	var frames []Frame
+	fp, pc := t.fp, t.pc
+	for i := len(t.shadow) - 1; i >= 0 && fp >= 0 && len(frames) < maxFrames; i-- {
+		name := "?"
+		if fidx := t.shadow[i]; fidx >= 0 && fidx < len(g.Prog.Funcs) {
+			name = g.Prog.Funcs[fidx].Name
+		}
+		frames = append(frames, Frame{FP: fp, PC: pc, Func: name})
+		pc = int(t.stack[fp+1])
+		fp = int(t.stack[fp])
+	}
+	return frames
 }
 
 func (g *Group) collect(live []*Task) {
@@ -343,8 +538,8 @@ func (t *Task) errf(g *Group, format string, args ...any) error {
 	if t.fidx >= 0 && t.fidx < len(g.Prog.Funcs) {
 		name = g.Prog.Funcs[t.fidx].Name
 	}
-	return fmt.Errorf("task %d: runtime error in %s at pc %d: %s",
-		t.ID, name, t.pc, fmt.Sprintf(format, args...))
+	return fmt.Errorf("task %d: runtime error in %s at pc %d: %s%s",
+		t.ID, name, t.pc, fmt.Sprintf(format, args...), backtraceString(g.backtrace(t)))
 }
 
 // step executes up to quantum instructions of one task.
@@ -567,6 +762,14 @@ func (g *Group) step(t *Task, quantum int) error {
 	return nil
 }
 
+// suspendAlloc parks a task at an allocation of n fields until the coming
+// collection, marking the retry so fault injection skips it.
+func (t *Task) suspendAlloc(n int) {
+	t.Status = SuspendedAlloc
+	t.pendingAlloc = n
+	t.allocRetry = true
+}
+
 // readAtomFrom reads an atom against an explicit frame pointer (the caller
 // frame during argument copying).
 func readAtomFrom(g *Group, t *Task, fp int, w code.Word) code.Word {
@@ -604,18 +807,47 @@ func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
 		if g.rgc != 0 {
 			// Another task exhausted the heap; wait here and retry this
 			// allocation after the collection.
-			t.Status = SuspendedAlloc
-			t.pendingAlloc = n
+			t.suspendAlloc(n)
 			return nil
 		}
 	}
-	if g.Heap.Need(n) {
+	if f := g.Col.Faults; f != nil && !t.allocRetry {
+		// Fault injection runs before the real allocation and rides the
+		// same suspend/collect path a genuine exhaustion would, so injected
+		// failures exercise the full ladder. allocRetry guards the
+		// post-collection retry: without it, torture (and FailEvery=1)
+		// would re-suspend the same allocation forever.
+		if f.Torture {
+			if g.rgc == 0 {
+				g.Col.Telem.Resilience.TortureCollections++
+			}
+			g.rgc = 1
+			t.suspendAlloc(n)
+			return nil
+		}
+		if f.FailAlloc() {
+			g.Col.Telem.Resilience.InjectedOOMs++
+			if g.rgc == 0 {
+				g.Col.Telem.Resilience.EmergencyCollections++
+			}
+			g.rgc = 1
+			t.suspendAlloc(n)
+			return nil
+		}
+	}
+	ptr, err := g.Heap.Alloc(n)
+	if err != nil {
+		// The typed allocation failure is the ladder's first rung: raise
+		// Rgc and suspend for an emergency collection; collectSuspended
+		// climbs the rest (retry, grow, fault).
+		if g.rgc == 0 {
+			g.Col.Telem.Resilience.EmergencyCollections++
+		}
 		g.rgc = 1
-		t.Status = SuspendedAlloc
-		t.pendingAlloc = n
+		t.suspendAlloc(n)
 		return nil
 	}
-	ptr := g.Heap.Alloc(n)
+	t.allocRetry = false
 	switch op {
 	case code.OpMkRef:
 		g.Heap.SetField(ptr, 0, t.atom(g, c[pc+3]))

@@ -1,10 +1,12 @@
 package tasking_test
 
 import (
+	"strings"
 	"testing"
 
 	"tagfree/internal/gc"
 	"tagfree/internal/pipeline"
+	"tagfree/internal/tasking"
 	"tagfree/internal/workloads"
 )
 
@@ -213,5 +215,37 @@ func TestTaskingVMParityOnCorpus(t *testing.T) {
 					par.Values[0], seq.Value, w.Expect)
 			}
 		})
+	}
+}
+
+// TestRuntimeErrorFaultsOnlyOffendingTask isolates a non-OOM failure: a
+// match failure in one task must fault that task alone, with a captured
+// backtrace, while its sibling runs to completion.
+func TestRuntimeErrorFaultsOnlyOffendingTask(t *testing.T) {
+	src := workerSrc + `
+let boom () = match upto 0 with | x :: _ -> x
+`
+	res, err := pipeline.RunTasks(src, []string{"boom", "task_a"}, pipeline.Options{
+		Strategy:  gc.StratCompiled,
+		HeapWords: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Faults[0]
+	if f == nil {
+		t.Fatalf("boom task did not fault; values %v", res.Values)
+	}
+	if f.Kind != tasking.FaultRuntime {
+		t.Errorf("fault kind %v, want FaultRuntime", f.Kind)
+	}
+	if len(f.Frames) == 0 || !strings.Contains(f.Error(), "backtrace:") {
+		t.Errorf("fault lacks a backtrace: %v", f)
+	}
+	if res.Faults[1] != nil {
+		t.Fatalf("sibling faulted: %v", res.Faults[1])
+	}
+	if want := int64(30 * 325); res.Values[1] != want {
+		t.Errorf("sibling result %d, want %d", res.Values[1], want)
 	}
 }

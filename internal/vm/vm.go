@@ -63,6 +63,11 @@ type VM struct {
 
 	// MaxSteps bounds execution (0 = 2^62).
 	MaxSteps int64
+	// GrowFactor, when > 1, enables the recovery ladder's growth rung:
+	// when a collection leaves an allocation unsatisfied, the heap grows
+	// by this factor until it fits or MaxHeapWords (0 = unbounded) caps it.
+	GrowFactor   float64
+	MaxHeapWords int
 
 	zeroFill bool
 	stack    []code.Word
@@ -181,17 +186,53 @@ func (vm *VM) collect(pc, fp int) {
 	}}, vm.Globals)
 }
 
-// ensureHeap guarantees room for an n-field object, collecting if needed.
+// ensureHeap guarantees room for an n-field object, climbing the recovery
+// ladder as needed: collect, retry, grow (when GrowFactor enables it), and
+// only then fail. A fault plan adds two entry points: torture mode
+// collects before every allocation, and an injected failure forces an
+// emergency collection even when the heap has room — both exercise exactly
+// the paths a genuine exhaustion would take.
 func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
+	if f := vm.Col.Faults; f != nil {
+		switch {
+		case f.Torture:
+			vm.Col.Telem.Resilience.TortureCollections++
+			vm.collect(pc, fp)
+		case f.FailAlloc():
+			vm.Col.Telem.Resilience.InjectedOOMs++
+			vm.Col.Telem.Resilience.EmergencyCollections++
+			vm.collect(pc, fp)
+		}
+	}
 	if !vm.Heap.Need(n) {
 		return nil
 	}
 	vm.collect(pc, fp)
-	if vm.Heap.Need(n) {
-		return vm.errf(pc, fidx, "heap exhausted (%d fields requested, %d words live)",
-			n, vm.Heap.Used())
+	if !vm.Heap.Need(n) {
+		return nil
 	}
-	return nil
+	for vm.GrowFactor > 1 {
+		cur := vm.Heap.SemiWords()
+		next := int(float64(cur) * vm.GrowFactor)
+		if next <= cur {
+			next = cur + 1
+		}
+		if vm.MaxHeapWords > 0 && next > vm.MaxHeapWords {
+			next = vm.MaxHeapWords
+		}
+		if next <= cur {
+			break // ceiling reached
+		}
+		if err := vm.Heap.Grow(next); err != nil {
+			break
+		}
+		vm.Col.Telem.Resilience.HeapGrowths++
+		if !vm.Heap.Need(n) {
+			return nil
+		}
+	}
+	return vm.errf(pc, fidx, "heap exhausted (%d fields requested, %d words live)",
+		n, vm.Heap.Used())
 }
 
 // call runs function fidx with the given arguments as a root invocation.
@@ -357,7 +398,7 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 			if err := vm.ensureHeap(1, pc, fp, fidx); err != nil {
 				return 0, err
 			}
-			ptr := vm.Heap.Alloc(1)
+			ptr := vm.Heap.MustAlloc(1)
 			vm.Heap.SetField(ptr, 0, vm.atom(fp, c[pc+3]))
 			vm.stack[fp+2+int(c[pc+1])] = ptr
 			vm.Stats.Allocations++
@@ -368,7 +409,7 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 			if err := vm.ensureHeap(n, pc, fp, fidx); err != nil {
 				return 0, err
 			}
-			ptr := vm.Heap.Alloc(n)
+			ptr := vm.Heap.MustAlloc(n)
 			for i := 0; i < n; i++ {
 				vm.Heap.SetField(ptr, i, vm.atom(fp, c[pc+4+i]))
 			}
@@ -388,7 +429,7 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 			if err := vm.ensureHeap(total, pc, fp, fidx); err != nil {
 				return 0, err
 			}
-			ptr := vm.Heap.Alloc(total)
+			ptr := vm.Heap.MustAlloc(total)
 			if tag >= 0 {
 				vm.Heap.SetField(ptr, 0, code.EncodeInt(repr, tag))
 			}
@@ -408,7 +449,7 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 			if err := vm.ensureHeap(total, pc, fp, fidx); err != nil {
 				return 0, err
 			}
-			ptr := vm.Heap.Alloc(total)
+			ptr := vm.Heap.MustAlloc(total)
 			vm.Heap.SetField(ptr, 0, code.EncodeInt(repr, int64(target)))
 			for i := 0; i < nrep; i++ {
 				vm.Heap.SetField(ptr, 1+i, vm.atom(fp, c[pc+7+i]))
