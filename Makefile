@@ -3,9 +3,10 @@
 # run of the cross-strategy differential suite. tier2-torture is the
 # heavyweight stress pass: the full task corpus with a collection before
 # every allocation and the post-collection heap verifier on, under the
-# race detector.
+# race detector. tier2-bench is the benchmark-harness race smoke: the
+# pause harness with 4 workers over the lock-free plan/site caches.
 
-.PHONY: tier1 tier2 tier2-torture bench fuzz
+.PHONY: tier1 tier2 tier2-torture tier2-bench bench bench-json fuzz
 
 tier1:
 	go build ./...
@@ -19,8 +20,18 @@ tier2: tier1
 tier2-torture: tier1
 	GC_TORTURE_FULL=1 go test -race -run 'TestTorture|TestRecoveryLadder|TestWatchdog' -count=1 -timeout 30m ./internal/pipeline/
 
+tier2-bench: tier1
+	go test -race -run 'TestBenchSnapshot|TestFastPath' -count=1 ./internal/experiments/ ./internal/gc/ ./internal/pipeline/
+
+# Go micro-benchmarks (slot dedupe, parallel collect, E1-E8 mirrors).
 bench:
-	go test -bench=. -benchmem -run xxx .
+	go test -bench=. -benchmem -run xxx . ./internal/gc/
+
+# Regenerate the committed benchmark snapshot (schema tagfree-bench/v1);
+# fixed repeats so snapshots are comparable across the repo's history.
+# Bump the PR number when committing a new trajectory point.
+bench-json:
+	go run ./cmd/tfbench -repeats 3 -bench-json BENCH_PR3.json
 
 # Budgeted fuzzing of the mark/sweep free-list invariants.
 fuzz:

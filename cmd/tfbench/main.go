@@ -1,4 +1,4 @@
-// Command tfbench regenerates the experiment tables (E1–E8; see
+// Command tfbench regenerates the experiment tables (E1–E10; see
 // EXPERIMENTS.md). With arguments, it runs only the named experiments.
 //
 //	tfbench              # all experiments
@@ -6,9 +6,11 @@
 //	tfbench -repeats 5 e2
 //	tfbench telemetry    # per-collection GC telemetry over the task corpus
 //	tfbench -json telemetry
+//	tfbench -bench-json BENCH_PR3.json   # machine-readable benchmark snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,20 +28,27 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the telemetry report as JSON instead of tables")
 	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection (telemetry report)")
 	torture := flag.Bool("gc-torture", false, "collect before every allocation (telemetry report)")
+	benchJSON := flag.String("bench-json", "", "write the benchmark snapshot (schema tagfree-bench/v1) to this file and exit; \"-\" for stdout")
 	flag.Parse()
 
-	runners := map[string]func() *experiments.Table{
-		"e1": experiments.E1HeapSpace,
-		"e2": func() *experiments.Table { return experiments.E2MutatorTags(*repeats) },
-		"e3": experiments.E3Liveness,
-		"e4": func() *experiments.Table { return experiments.E4SpaceTime(*repeats) },
-		"e5": experiments.E5GCWordElision,
-		"e6": experiments.E6PolyWalk,
-		"e7": experiments.E7Tasking,
-		"e8": experiments.E8RuntimeReps,
-		"e9": func() *experiments.Table { return experiments.E9MarkSweep(*repeats) },
+	if *benchJSON != "" {
+		writeBenchSnapshot(*benchJSON, *repeats)
+		return
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"}
+
+	runners := map[string]func() *experiments.Table{
+		"e1":  experiments.E1HeapSpace,
+		"e2":  func() *experiments.Table { return experiments.E2MutatorTags(*repeats) },
+		"e3":  experiments.E3Liveness,
+		"e4":  func() *experiments.Table { return experiments.E4SpaceTime(*repeats) },
+		"e5":  experiments.E5GCWordElision,
+		"e6":  experiments.E6PolyWalk,
+		"e7":  experiments.E7Tasking,
+		"e8":  experiments.E8RuntimeReps,
+		"e9":  func() *experiments.Table { return experiments.E9MarkSweep(*repeats) },
+		"e10": experiments.E10FastPath,
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -57,6 +66,29 @@ func main() {
 		}
 		fmt.Println(r().Render())
 	}
+}
+
+// writeBenchSnapshot regenerates the machine-readable benchmark snapshot
+// (experiments.Bench) and writes it to path — the file committed as
+// BENCH_PR<n>.json to make pause behavior comparable across the
+// repository's history. See EXPERIMENTS.md for the schema.
+func writeBenchSnapshot(path string, repeats int) {
+	snap := experiments.Bench(repeats)
+	js, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+		os.Exit(1)
+	}
+	js = append(js, '\n')
+	if path == "-" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(path, js, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d runs, schema %s)\n", path, len(snap.Runs), snap.Schema)
 }
 
 // telemetryReport runs the multi-task workload corpus under the compiled

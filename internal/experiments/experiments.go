@@ -13,6 +13,8 @@
 //	E6  polymorphic stack walk: O(n) incremental vs Appel's chain re-walk
 //	E7  tasking: suspension latency and the Rgc check cost
 //	E8  runtime type reps: the completeness gap the paper's protocol misses
+//	E9  collection disciplines: copying vs mark/sweep on the same maps
+//	E10 collection fast path: pause breakdown, cached vs uncached (bench.go)
 package experiments
 
 import (
@@ -507,6 +509,7 @@ func All(repeats int) []*Table {
 		E7Tasking(),
 		E8RuntimeReps(),
 		E9MarkSweep(repeats),
+		E10FastPath(),
 	}
 }
 

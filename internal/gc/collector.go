@@ -80,6 +80,18 @@ type Stats struct {
 	WordsScanned int64
 	// PauseNS is the total wall-clock time spent inside collections.
 	PauseNS int64
+	// PlanHits/PlanMisses count frame-plan cache lookups on the compiled
+	// fast path (see fastpath.go); a hit resolves a frame's entire routine
+	// without touching the TypeGC builder.
+	PlanHits   int64
+	PlanMisses int64
+	// SiteCacheHits/SiteCacheMisses count pc→site lookups served by the
+	// lookup cache versus decoded from the instruction stream.
+	SiteCacheHits   int64
+	SiteCacheMisses int64
+	// KernelWords counts heap words traced by specialized kernels instead
+	// of per-word Trace interface dispatch.
+	KernelWords int64
 }
 
 // DebugTrace, when set, logs every frame and slot traced (tests only).
@@ -110,8 +122,19 @@ type Collector struct {
 	// Verify runs the post-collection heap verifier after every collection
 	// (see verify.go); violations panic with a *VerifyError.
 	Verify bool
+	// DisableFastPath turns off the collection fast path — the pc→site
+	// lookup cache, the frame-plan cache and the specialized trace kernels
+	// (fastpath.go) — restoring uncached per-frame resolution. The
+	// differential suite uses the disabled collector as its oracle; the
+	// fast path must produce bit-identical heaps.
+	DisableFastPath bool
 
 	b *builder
+	// siteCache is the pc→site lookup cache: siteIdx+1 per code index,
+	// zero = unfilled (see siteAtFast).
+	siteCache []int32
+	// plans is the frame-plan cache (compiled strategy fast path).
+	plans planCache
 	// compiledSites holds the prebuilt frame routines (compiled mode).
 	compiledSites [][]slotTracer
 	// interpSites holds the serialized frame maps (interp mode).
@@ -136,6 +159,9 @@ func New(prog *code.Program, h *heap.Heap, strat Strategy) (*Collector, error) {
 			strat, strat.CompatibleRepr(), prog.Repr)
 	}
 	c := &Collector{Prog: prog, Heap: h, Strat: strat, b: newBuilder()}
+	if strat != StratTagged {
+		c.siteCache = make([]int32, len(prog.Code))
+	}
 	switch strat {
 	case StratCompiled:
 		c.compiledSites = make([][]slotTracer, len(prog.Sites))
@@ -207,6 +233,9 @@ func (c *Collector) Collect(tasks []TaskRoots, globals []code.Word) {
 	parallel := c.Parallelism > 1 && c.Strat != StratTagged
 	fallback := false
 	if parallel {
+		// Republish the memo-table and plan-cache snapshots so workers
+		// resolve descriptors lock-free (fastpath.go).
+		c.prepareFastPath()
 		fallback = !c.collectParallel(tasks, scans, globals, markedAtStart)
 	} else {
 		c.collectSerial(tasks, scans)
@@ -264,10 +293,24 @@ func (c *Collector) collectSerial(tasks []TaskRoots, scans []TaskScan) {
 // gather frame pointers, one to trace).
 func (c *Collector) collectTask(t TaskRoots) {
 	fps, pcs := frameChain(t)
+	fast := c.Strat == StratCompiled && !c.DisableFastPath
 	var incoming pkg
+	var ic planIC
 	for i, fp := range fps {
-		siteIdx, site := c.siteAt(pcs[i])
+		siteIdx, site := c.siteAtFast(pcs[i], &c.Stats)
 		fi := c.Prog.Funcs[site.Func]
+		if fast {
+			// Compiled fast path: resolve the frame's type arguments, then
+			// run the memoized plan — slot routines, kernels, dedupe and
+			// outgoing package all precomputed per (site, instantiation).
+			targs := c.frameTypeArgs(fi, incoming, t.Stack, fp)
+			plan := c.planForIC(&ic, siteIdx, site, targs, &c.Stats)
+			c.tracePlan(plan, t.Stack, fp+2, t.AtCall && i == len(fps)-1)
+			if i < len(fps)-1 {
+				incoming = plan.out
+			}
+			continue
+		}
 		var targs []TypeGC
 		if c.Strat == StratAppel {
 			targs = c.appelTypeArgs(t, fps, pcs, i, &c.Stats)
@@ -380,10 +423,10 @@ func (c *Collector) traceFrame(siteIdx int, site *code.SiteInfo, fi *code.FuncIn
 	// traced once only. A second Trace of the same slot would dereference
 	// the to-space pointer the first trace wrote there (Appel mode hits
 	// this: AllSlots ignores liveness and so covers the staged arguments).
-	var traced []int
+	var traced slotSet
 	note := func(slot int) {
 		if atCall {
-			traced = append(traced, slot)
+			traced.add(slot)
 		}
 	}
 	switch c.Strat {
@@ -415,7 +458,7 @@ func (c *Collector) traceFrame(siteIdx int, site *code.SiteInfo, fi *code.FuncIn
 		// argument values in its own slots; trace them through the site's
 		// argument map (tasking, §4).
 		for _, e := range site.Args {
-			if slotSeen(traced, e.Slot) {
+			if traced.has(e.Slot) {
 				continue
 			}
 			g := c.FromDesc(e.Desc, targs)
@@ -423,17 +466,6 @@ func (c *Collector) traceFrame(siteIdx int, site *code.SiteInfo, fi *code.FuncIn
 			c.Stats.SlotsTraced++
 		}
 	}
-}
-
-// slotSeen reports whether slot is in traced (frames have few slots; a
-// linear scan beats a map).
-func slotSeen(traced []int, slot int) bool {
-	for _, s := range traced {
-		if s == slot {
-			return true
-		}
-	}
-	return false
 }
 
 // ---------------------------------------------------------------------------
@@ -448,7 +480,7 @@ func slotSeen(traced []int, slot int) bool {
 func (c *Collector) appelTypeArgs(t TaskRoots, fps, pcs []int, target int, st *Stats) []TypeGC {
 	var incoming pkg
 	for j := 0; j <= target; j++ {
-		_, site := c.siteAt(pcs[j])
+		_, site := c.siteAtFast(pcs[j], st)
 		fi := c.Prog.Funcs[site.Func]
 		targs := c.frameTypeArgs(fi, incoming, t.Stack, fps[j])
 		st.ChainSteps++
@@ -499,10 +531,14 @@ func (c *Collector) traceTaggedWord(w code.Word) code.Word {
 }
 
 // cheneyScan completes the tagged collection: scan to-space linearly,
-// forwarding every pointer field (headers give object extents).
+// forwarding every pointer field (headers give object extents). The scan
+// runs batched — one callback per object over its field words in place —
+// instead of one indirect call per word.
 func (c *Collector) cheneyScan() {
-	c.Heap.ScanToSpace(func(w code.Word) code.Word {
-		c.Stats.WordsScanned++
-		return c.traceTaggedWord(w)
+	c.Heap.ScanToSpaceBatched(func(fields []code.Word) {
+		c.Stats.WordsScanned += int64(len(fields))
+		for i, w := range fields {
+			fields[i] = c.traceTaggedWord(w)
+		}
 	})
 }

@@ -1,0 +1,518 @@
+package gc
+
+// The collection fast path makes the Compiled strategy actually compiled
+// at pause time. The baseline collector, faithful to the paper's
+// presentation, still re-derived everything per frame per collection:
+// the gc_word was decoded from the instruction stream for every frame, a
+// polymorphic frame's []TypeGC and outgoing package were rebuilt through
+// the hash-consing builder (string keys under a mutex) for every frame of
+// every collection, and every traced word paid a Trace interface call.
+// For the dominant workload shape — deep recursive stacks of one function
+// at one instantiation over list/tree structure — all of that work is
+// identical across frames and across collections.
+//
+// Three caches remove it:
+//
+//   - A pc→site lookup cache (Collector.siteCache): the resolved site
+//     index for each return address, filled on first decode and then a
+//     single atomic load. Workers share it lock-free.
+//   - A frame-plan cache (planCache): keyed by (site, identity of the
+//     incoming type instantiation), memoizing the fully resolved frame
+//     routine — per-slot TypeGC, the specialized kernel chosen for each
+//     slot, the call-argument map minus slots the frame walk already
+//     covers, and the outgoing package handed to the callee. A tower of N
+//     equal frames resolves its types once, not N times per collection.
+//   - Specialized trace kernels: flattened iterative loops for the
+//     dominant ground shapes (const, ref-of-const, tuple-of-const,
+//     const-payload data spines such as int lists) selected at plan-build
+//     time, replacing recursive Trace interface dispatch per word.
+//
+// All three are read lock-free during parallel collection: the plan cache
+// and the TypeGC builder keep an immutable snapshot map (promoted before
+// each parallel phase) consulted without locking, with a mutex-guarded
+// dirty map behind it for misses. Collector.DisableFastPath restores the
+// uncached per-frame resolution — the differential suite's oracle — and
+// the fast path is required (and tested) to produce bit-identical heaps.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tagfree/internal/code"
+)
+
+// ---------------------------------------------------------------------------
+// slotSet: per-frame slot membership without the O(slots²) linear scan.
+// ---------------------------------------------------------------------------
+
+// slotSet tracks which frame slots have been traced. Frames are usually
+// narrow, so the first 64 slots live in one word; wider frames (generated
+// code with many temporaries) spill into a bitmap slice. Both membership
+// test and insert are O(1), replacing the linear scan that made suspended
+// wide frames quadratic.
+type slotSet struct {
+	small uint64
+	big   []uint64
+}
+
+func (s *slotSet) add(slot int) {
+	if slot < 64 {
+		s.small |= 1 << uint(slot)
+		return
+	}
+	w := slot/64 - 1
+	for w >= len(s.big) {
+		s.big = append(s.big, 0)
+	}
+	s.big[w] |= 1 << uint(slot%64)
+}
+
+func (s *slotSet) has(slot int) bool {
+	if slot < 64 {
+		return s.small&(1<<uint(slot)) != 0
+	}
+	w := slot/64 - 1
+	return w < len(s.big) && s.big[w]&(1<<uint(slot%64)) != 0
+}
+
+// ---------------------------------------------------------------------------
+// Kernels: flattened trace loops for the dominant ground shapes.
+// ---------------------------------------------------------------------------
+
+// kernel selects the specialized trace loop for one slot, chosen once at
+// plan-build time by classify.
+type kernel uint8
+
+const (
+	// kGeneric falls back to TypeGC.Trace interface dispatch.
+	kGeneric kernel = iota
+	// kConst: unboxed value, nothing to trace.
+	kConst
+	// kRefConst: a ref cell whose element is unboxed — copy one object,
+	// no field tracing.
+	kRefConst
+	// kTupleFlat: a tuple of all-unboxed fields — copy one object whose
+	// field words are already correct verbatim.
+	kTupleFlat
+	// kSpineFlat: a datatype whose boxed constructors carry only unboxed
+	// payload fields plus an optional recursive tail (int lists, enums
+	// with data) — one iterative loop over the spine, zero per-field
+	// dispatch.
+	kSpineFlat
+)
+
+// spineKernel is the precomputed per-tag layout a kSpineFlat loop needs:
+// the visited object size and the recursive tail field offset (-1 for a
+// terminal constructor), both including the optional tag word.
+type spineKernel struct {
+	hasTag bool
+	size   []int
+	tail   []int
+}
+
+// classify picks the kernel for a routine. Classification resolves the
+// same descriptors Trace would, so it builds no nodes Trace would not.
+func (c *Collector) classify(g TypeGC) (kernel, *spineKernel) {
+	switch g := g.(type) {
+	case *constG:
+		return kConst, nil
+	case *refG:
+		if _, ok := g.elem.(*constG); ok {
+			return kRefConst, nil
+		}
+	case *tupleG:
+		for _, f := range g.fields {
+			if _, ok := f.(*constG); !ok {
+				return kGeneric, nil
+			}
+		}
+		return kTupleFlat, nil
+	case *dataG:
+		sk := &spineKernel{
+			hasTag: g.layout.HasTagWord,
+			size:   make([]int, len(g.layout.Boxed)),
+			tail:   make([]int, len(g.layout.Boxed)),
+		}
+		off := 0
+		if sk.hasTag {
+			off = 1
+		}
+		for tag := range g.layout.Boxed {
+			fields := g.layout.Boxed[tag].Fields
+			sk.size[tag] = off + len(fields)
+			sk.tail[tag] = -1
+			for i, fd := range fields {
+				fgc := c.FromDesc(fd, g.args)
+				if fgc == g && i == len(fields)-1 {
+					sk.tail[tag] = off + i
+					continue
+				}
+				if _, ok := fgc.(*constG); !ok {
+					return kGeneric, nil
+				}
+			}
+		}
+		return kSpineFlat, sk
+	}
+	return kGeneric, nil
+}
+
+// traceKernel traces one root through its specialized loop (or the generic
+// Trace for kGeneric). It mutates the heap exactly as Trace would — same
+// visit order, same copies — so fast-path heaps stay bit-identical to the
+// oracle's. st receives the object/word counters (c.Stats on the serial
+// and ordered-trace paths; a worker-local block during parallel marking
+// never reaches here — see markKernel).
+func (c *Collector) traceKernel(ps *planSlot, w code.Word, st *Stats) code.Word {
+	switch ps.k {
+	case kConst:
+		return w
+	case kRefConst:
+		if !code.IsBoxedValue(c.Heap.Repr, w) {
+			return w
+		}
+		nw, fresh := c.Heap.VisitObject(w, 1)
+		if fresh {
+			st.ObjectsCopied++
+			st.KernelWords++
+		}
+		return nw
+	case kTupleFlat:
+		if !code.IsBoxedValue(c.Heap.Repr, w) {
+			return w
+		}
+		n := len(ps.g.(*tupleG).fields)
+		nw, fresh := c.Heap.VisitObject(w, n)
+		if fresh {
+			st.ObjectsCopied++
+			st.KernelWords += int64(n)
+		}
+		return nw
+	case kSpineFlat:
+		return c.traceSpine(ps.spine, w, st)
+	}
+	return ps.g.Trace(c, w)
+}
+
+// traceSpine is the flattened loop for const-payload data spines: visit,
+// link the previous copy's tail, advance — dataG.Trace minus the
+// per-field FromDesc and Trace dispatch (payload words are correct
+// verbatim after the copy).
+func (c *Collector) traceSpine(sk *spineKernel, w code.Word, st *Stats) code.Word {
+	head := code.Word(0)
+	haveHead := false
+	var prevPtr code.Word // last copied object; its tail field awaits a link
+	prevField := -1
+	link := func(v code.Word) {
+		if prevField >= 0 {
+			c.Heap.SetField(prevPtr, prevField, v)
+		} else if !haveHead {
+			head = v
+			haveHead = true
+		}
+	}
+	for {
+		if !code.IsBoxedValue(c.Heap.Repr, w) {
+			link(w)
+			return head0(head, haveHead, w)
+		}
+		tag := 0
+		if sk.hasTag {
+			tag = int(code.DecodeInt(c.Heap.Repr, c.Heap.Field(w, 0)))
+		}
+		nw, fresh := c.Heap.VisitObject(w, sk.size[tag])
+		link(nw)
+		if !fresh {
+			return head0(head, haveHead, nw)
+		}
+		st.ObjectsCopied++
+		st.KernelWords += int64(sk.size[tag])
+		t := sk.tail[tag]
+		if t < 0 {
+			return head0(head, haveHead, nw)
+		}
+		prevPtr, prevField = nw, t
+		w = c.Heap.Field(nw, t)
+	}
+}
+
+// markKernel is traceKernel's read-only twin for parallel mark/sweep
+// collection: objects are claimed through VisitShared's compare-and-swap
+// and no heap or stack word is written. It returns the words newly marked.
+func (c *Collector) markKernel(ps *planSlot, w code.Word, st *Stats) int64 {
+	repr := c.Heap.Repr
+	switch ps.k {
+	case kConst:
+		return 0
+	case kRefConst:
+		if !code.IsBoxedValue(repr, w) {
+			return 0
+		}
+		if _, fresh := c.Heap.VisitShared(w, 1); !fresh {
+			return 0
+		}
+		st.ObjectsCopied++
+		st.KernelWords++
+		return 1
+	case kTupleFlat:
+		if !code.IsBoxedValue(repr, w) {
+			return 0
+		}
+		n := len(ps.g.(*tupleG).fields)
+		if _, fresh := c.Heap.VisitShared(w, n); !fresh {
+			return 0
+		}
+		st.ObjectsCopied++
+		st.KernelWords += int64(n)
+		return int64(n)
+	case kSpineFlat:
+		sk := ps.spine
+		var words int64
+		for code.IsBoxedValue(repr, w) {
+			tag := 0
+			if sk.hasTag {
+				tag = int(code.DecodeInt(repr, c.Heap.Field(w, 0)))
+			}
+			if _, fresh := c.Heap.VisitShared(w, sk.size[tag]); !fresh {
+				break
+			}
+			st.ObjectsCopied++
+			st.KernelWords += int64(sk.size[tag])
+			words += int64(sk.size[tag])
+			t := sk.tail[tag]
+			if t < 0 {
+				break
+			}
+			w = c.Heap.Field(w, t)
+		}
+		return words
+	}
+	return c.markValue(ps.g, w, st)
+}
+
+// ---------------------------------------------------------------------------
+// Frame-plan cache.
+// ---------------------------------------------------------------------------
+
+// planSlot is one resolved slot of a frame plan.
+type planSlot struct {
+	slot  int
+	g     TypeGC
+	k     kernel
+	spine *spineKernel
+}
+
+// framePlan is a fully resolved frame routine for one (site, incoming
+// type instantiation): the slot routines with their kernels, the
+// suspended-call argument map minus slots the frame walk already covers
+// (the per-frame dedupe, computed once), and the outgoing package. Plans
+// are immutable after construction and shared freely across frames,
+// collections and workers.
+type framePlan struct {
+	slots []planSlot
+	args  []planSlot
+	out   pkg
+}
+
+// maxPlanTypeArgs bounds the inline plan key. Frames instantiated with
+// more type arguments (rare: none of the corpus exceeds two) resolve
+// uncached, counted as plan misses.
+const maxPlanTypeArgs = 4
+
+// planKey identifies a frame plan: the site plus the gcIDs of the
+// incoming type arguments (node identity is instantiation identity — the
+// builder hash-conses equal types to one node).
+type planKey struct {
+	site int32
+	n    int8
+	ids  [maxPlanTypeArgs]int32
+}
+
+// planCache memoizes frame plans with lock-free reads: an immutable
+// snapshot map consulted without locking, and a mutex-guarded dirty map
+// holding everything ever built. promote republishes the snapshot; the
+// collector promotes before each parallel phase so workers resolving deep
+// stacks never serialize on the mutex.
+type planCache struct {
+	snap     atomic.Pointer[map[planKey]*framePlan]
+	mu       sync.Mutex
+	dirty    map[planKey]*framePlan
+	promoted int
+}
+
+func (pc *planCache) promote() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if len(pc.dirty) == pc.promoted {
+		return
+	}
+	m := make(map[planKey]*framePlan, len(pc.dirty))
+	for k, v := range pc.dirty {
+		m[k] = v
+	}
+	pc.snap.Store(&m)
+	pc.promoted = len(m)
+}
+
+// planIC is a one-entry inline cache in front of planFor, local to one
+// task's stack walk: a tower of N equal frames — deep recursion over one
+// instantiation, the dominant deep-stack shape — hits it N-1 times,
+// skipping even the snapshot map's hash per frame. Type-argument equality
+// is interface identity (hash-consing makes node identity instantiation
+// identity).
+type planIC struct {
+	site  int
+	targs []TypeGC
+	plan  *framePlan
+}
+
+func (ic *planIC) match(site int, targs []TypeGC) bool {
+	if ic.plan == nil || ic.site != site || len(ic.targs) != len(targs) {
+		return false
+	}
+	for i := range targs {
+		if targs[i] != ic.targs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// planForIC resolves a frame plan through the walk-local inline cache,
+// falling back to the shared memo table.
+func (c *Collector) planForIC(ic *planIC, siteIdx int, site *code.SiteInfo, targs []TypeGC, st *Stats) *framePlan {
+	if ic.match(siteIdx, targs) {
+		st.PlanHits++
+		return ic.plan
+	}
+	p := c.planFor(siteIdx, site, targs, st)
+	*ic = planIC{site: siteIdx, targs: targs, plan: p}
+	return p
+}
+
+// planFor returns the memoized frame plan for (site, targs), building and
+// publishing it on first use. st takes the hit/miss counters (worker-local
+// during parallel resolution).
+func (c *Collector) planFor(siteIdx int, site *code.SiteInfo, targs []TypeGC, st *Stats) *framePlan {
+	if len(targs) > maxPlanTypeArgs {
+		st.PlanMisses++
+		return c.buildPlan(siteIdx, site, targs)
+	}
+	key := planKey{site: int32(siteIdx), n: int8(len(targs))}
+	for i, g := range targs {
+		if g != nil {
+			key.ids[i] = int32(g.gcID())
+		} else {
+			key.ids[i] = -1
+		}
+	}
+	if m := c.plans.snap.Load(); m != nil {
+		if p, ok := (*m)[key]; ok {
+			st.PlanHits++
+			return p
+		}
+	}
+	c.plans.mu.Lock()
+	if p, ok := c.plans.dirty[key]; ok {
+		c.plans.mu.Unlock()
+		st.PlanHits++
+		return p
+	}
+	c.plans.mu.Unlock()
+	// Build outside the lock: construction reaches into the TypeGC
+	// builder, and a slow build must not serialize unrelated lookups.
+	// A racing duplicate build is harmless — plans for one key are
+	// interchangeable — but only one wins publication.
+	st.PlanMisses++
+	p := c.buildPlan(siteIdx, site, targs)
+	c.plans.mu.Lock()
+	if prev, ok := c.plans.dirty[key]; ok {
+		p = prev
+	} else {
+		if c.plans.dirty == nil {
+			c.plans.dirty = make(map[planKey]*framePlan)
+		}
+		c.plans.dirty[key] = p
+	}
+	c.plans.mu.Unlock()
+	return p
+}
+
+// buildPlan resolves one frame routine completely: slot routines with
+// kernels, the deduplicated suspended-call argument map, and the outgoing
+// package (built eagerly so published plans are immutable).
+func (c *Collector) buildPlan(siteIdx int, site *code.SiteInfo, targs []TypeGC) *framePlan {
+	p := &framePlan{}
+	var seen slotSet
+	for _, tr := range c.compiledSites[siteIdx] {
+		g := tr.ground
+		if g == nil {
+			g = c.FromDesc(tr.desc, targs)
+		}
+		k, sp := c.classify(g)
+		p.slots = append(p.slots, planSlot{slot: tr.slot, g: g, k: k, spine: sp})
+		seen.add(tr.slot)
+	}
+	for _, e := range site.Args {
+		if seen.has(e.Slot) {
+			continue
+		}
+		g := c.FromDesc(e.Desc, targs)
+		k, sp := c.classify(g)
+		p.args = append(p.args, planSlot{slot: e.Slot, g: g, k: k, spine: sp})
+	}
+	p.out = c.outgoing(site, targs)
+	return p
+}
+
+// tracePlan runs one frame's plan over the stack (the serial collector's
+// compiled fast path).
+func (c *Collector) tracePlan(p *framePlan, stack []code.Word, base int, atCall bool) {
+	for i := range p.slots {
+		ps := &p.slots[i]
+		stack[base+ps.slot] = c.traceKernel(ps, stack[base+ps.slot], &c.Stats)
+		c.Stats.SlotsTraced++
+	}
+	if atCall {
+		for i := range p.args {
+			ps := &p.args[i]
+			stack[base+ps.slot] = c.traceKernel(ps, stack[base+ps.slot], &c.Stats)
+			c.Stats.SlotsTraced++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// pc→site lookup cache.
+// ---------------------------------------------------------------------------
+
+// siteAtFast resolves the site at pc through the lookup cache: one atomic
+// load on a hit, the instruction-stream decode (siteAt) on first touch.
+// Entries are siteIdx+1 so the zero value means unfilled; concurrent
+// workers may race to fill an entry with the same value, which the atomic
+// store keeps benign.
+func (c *Collector) siteAtFast(pc int, st *Stats) (int, *code.SiteInfo) {
+	if c.DisableFastPath || c.siteCache == nil {
+		return c.siteAt(pc)
+	}
+	if v := atomic.LoadInt32(&c.siteCache[pc]); v > 0 {
+		st.SiteCacheHits++
+		return int(v - 1), c.Prog.Sites[v-1]
+	}
+	st.SiteCacheMisses++
+	idx, si := c.siteAt(pc)
+	atomic.StoreInt32(&c.siteCache[pc], int32(idx+1))
+	return idx, si
+}
+
+// prepareFastPath promotes the memo-table and plan-cache snapshots so the
+// parallel phase's workers read both lock-free — the "pre-resolve before
+// the pause's parallel phase" step. Promotion is O(entries) and skipped
+// when nothing new was built since the last collection.
+func (c *Collector) prepareFastPath() {
+	if c.DisableFastPath {
+		return
+	}
+	c.b.promote()
+	c.plans.promote()
+}

@@ -1,0 +1,153 @@
+package gc_test
+
+// Fast-path hardening: the Compiled strategy's collection fast path
+// (frame-plan cache, pc→site cache, specialized trace kernels — see
+// internal/gc/fastpath.go) is a pure memoization and must be invisible to
+// everything but the clock. These tests pin the central claim: a
+// fast-path collection history leaves every single heap word equal to the
+// uncached oracle's (Collector.DisableFastPath), sequentially and with 4
+// workers, under both heap disciplines — and the caches actually engage
+// on the workloads that motivated them.
+
+import (
+	"fmt"
+	"testing"
+
+	"tagfree/internal/code"
+	"tagfree/internal/gc"
+	"tagfree/internal/heap"
+	"tagfree/internal/pipeline"
+	"tagfree/internal/tasking"
+	"tagfree/internal/workloads"
+)
+
+// runGroupFP is runGroup with the fast path switchable, also returning
+// the collector's counters for cache-engagement assertions.
+func runGroupFP(t *testing.T, w workloads.TaskWorkload, strat gc.Strategy, ms bool, par int, disableFast bool) ([]code.Word, []code.Word, gc.Stats) {
+	t.Helper()
+	prog, _, err := pipeline.Build(w.Source, pipeline.Options{
+		Strategy:             strat,
+		DisableGCWordElision: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]int, len(w.Entries))
+	for i, name := range w.Entries {
+		entries[i] = prog.FuncByName(name)
+		if entries[i] < 0 {
+			t.Fatalf("no function %s", name)
+		}
+	}
+	var g *tasking.Group
+	if ms {
+		g, err = tasking.NewGroupWith(prog, heap.NewMarkSweep(prog.Repr, 2*w.HeapWords), strat, entries)
+	} else {
+		g, err = tasking.NewGroup(prog, w.HeapWords, strat, entries)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Col.Parallelism = par
+	g.Col.DisableFastPath = disableFast
+	g.Col.Verify = true
+	g.Heap.SetVerify(true)
+	if err := g.RunInit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.Collections == 0 {
+		t.Fatalf("no collections — workload exerts no heap pressure")
+	}
+	results := make([]code.Word, len(g.Tasks))
+	for i, task := range g.Tasks {
+		results[i] = task.Result
+	}
+	return results, g.Heap.MemSnapshot(), g.Col.Stats
+}
+
+// TestFastPathBitIdenticalToOracle: for every task workload and heap
+// discipline, collections through the plan cache and kernels — serial and
+// 4-way parallel — leave the heap bit-identical to the uncached oracle.
+func TestFastPathBitIdenticalToOracle(t *testing.T) {
+	for _, w := range workloads.Tasking {
+		for _, ms := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/ms=%v", w.Name, ms), func(t *testing.T) {
+				oracleRes, oracleMem, oracleStats := runGroupFP(t, w, gc.StratCompiled, ms, 1, true)
+				if oracleStats.PlanHits != 0 || oracleStats.KernelWords != 0 || oracleStats.SiteCacheHits != 0 {
+					t.Fatalf("oracle used the fast path: %+v", oracleStats)
+				}
+				for _, par := range []int{1, 4} {
+					fastRes, fastMem, fastStats := runGroupFP(t, w, gc.StratCompiled, ms, par, false)
+					if !wordsEqual(oracleRes, fastRes) {
+						t.Fatalf("par=%d: results diverge: oracle %v fast %v", par, oracleRes, fastRes)
+					}
+					if !wordsEqual(oracleMem, fastMem) {
+						t.Fatalf("par=%d: heap images diverge (%d words)", par, len(oracleMem))
+					}
+					if fastStats.PlanHits == 0 {
+						t.Fatalf("par=%d: plan cache never hit: %+v", par, fastStats)
+					}
+					// The oracle and the fast path must agree on the logical
+					// trace work, not just the final heap.
+					if fastStats.FramesTraced != oracleStats.FramesTraced ||
+						fastStats.SlotsTraced != oracleStats.SlotsTraced ||
+						fastStats.ObjectsCopied != oracleStats.ObjectsCopied {
+						t.Fatalf("par=%d: work counters diverge:\n  oracle %+v\n  fast   %+v",
+							par, oracleStats, fastStats)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFastPathCachesEngage pins that the workload shape the fast path was
+// built for — deep stacks of polymorphic frames over list structure —
+// actually drives all three caches: the plan cache converges to hits, the
+// pc→site cache is consulted, and kernels trace the bulk of the copied
+// words.
+func TestFastPathCachesEngage(t *testing.T) {
+	w, ok := workloads.TaskByName("taskpoly")
+	if !ok {
+		t.Fatal("taskpoly workload missing")
+	}
+	_, _, st := runGroupFP(t, w, gc.StratCompiled, false, 1, false)
+	if st.PlanMisses == 0 {
+		t.Fatalf("no plans were ever built: %+v", st)
+	}
+	if st.PlanHits < 10*st.PlanMisses {
+		t.Fatalf("plan cache not amortizing: hits=%d misses=%d", st.PlanHits, st.PlanMisses)
+	}
+	if st.SiteCacheHits == 0 {
+		t.Fatalf("pc→site cache never hit: %+v", st)
+	}
+	if st.KernelWords == 0 {
+		t.Fatalf("kernels never traced a word: %+v", st)
+	}
+}
+
+// TestFastPathOtherStrategiesUnaffected: the plan cache and kernels are a
+// Compiled-strategy specialization. Interp must keep paying its
+// per-collection decode cost (the E4 trade-off) and Appel its chain
+// re-walks; only the strategy-neutral pc→site cache may serve them.
+func TestFastPathOtherStrategiesUnaffected(t *testing.T) {
+	w, ok := workloads.TaskByName("taskchurn")
+	if !ok {
+		t.Fatal("taskchurn workload missing")
+	}
+	for _, strat := range []gc.Strategy{gc.StratInterp, gc.StratAppel} {
+		_, _, st := runGroupFP(t, w, strat, false, 1, false)
+		if st.PlanHits != 0 || st.PlanMisses != 0 || st.KernelWords != 0 {
+			t.Fatalf("%v: plan cache or kernels engaged: %+v", strat, st)
+		}
+		if strat == gc.StratInterp && st.DescBytesDecoded == 0 {
+			t.Fatalf("interp stopped decoding descriptors: %+v", st)
+		}
+		if strat == gc.StratAppel && st.ChainSteps == 0 {
+			t.Fatalf("appel stopped re-walking chains: %+v", st)
+		}
+	}
+}

@@ -61,7 +61,7 @@ func encodeDesc(out []byte, d *code.TypeDesc) []byte {
 // interpTraceFrame decodes a site descriptor and traces the frame's slots.
 // When the frame is suspended at a call (atCall), traced records the slots
 // walked so the caller can skip them in the argument map (see traceFrame).
-func (c *Collector) interpTraceFrame(buf []byte, stack []code.Word, base int, targs []TypeGC, traced *[]int, atCall bool) {
+func (c *Collector) interpTraceFrame(buf []byte, stack []code.Word, base int, targs []TypeGC, traced *slotSet, atCall bool) {
 	r := &descReader{buf: buf}
 	n := r.uvarint()
 	for i := 0; i < n; i++ {
@@ -70,7 +70,7 @@ func (c *Collector) interpTraceFrame(buf []byte, stack []code.Word, base int, ta
 		stack[base+slot] = g.Trace(c, stack[base+slot])
 		c.Stats.SlotsTraced++
 		if atCall {
-			*traced = append(*traced, slot)
+			traced.add(slot)
 		}
 	}
 	c.Stats.DescBytesDecoded += int64(len(buf))

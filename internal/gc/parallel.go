@@ -35,10 +35,29 @@ import (
 // admits is mark/sweep per-task attribution of structure shared between
 // tasks (whichever worker's CAS wins owns the words) — totals still agree.
 
-// rootJob is one resolved root: a stack slot and the routine tracing it.
+// rootJob is one resolved root: a stack slot, the routine tracing it, and
+// the specialized kernel chosen for it at plan-build time (kGeneric when
+// the fast path is off or the shape needs full dispatch).
 type rootJob struct {
-	idx int // absolute index into the task's stack
-	g   TypeGC
+	idx   int // absolute index into the task's stack
+	g     TypeGC
+	k     kernel
+	spine *spineKernel
+}
+
+// planJob converts a resolved plan slot into a root job.
+func planJob(base int, ps *planSlot) rootJob {
+	return rootJob{idx: base + ps.slot, g: ps.g, k: ps.k, spine: ps.spine}
+}
+
+// traceJob traces one resolved root on the ordered phase-2 path, through
+// its kernel when one was selected.
+func (c *Collector) traceJob(j *rootJob, w code.Word) code.Word {
+	if j.k == kGeneric {
+		return j.g.Trace(c, w)
+	}
+	ps := planSlot{g: j.g, k: j.k, spine: j.spine}
+	return c.traceKernel(&ps, w, &c.Stats)
 }
 
 // collectParallel scans all task stacks with c.Parallelism workers.
@@ -139,6 +158,11 @@ func mergeStats(into, from *Stats) {
 	into.DescBytesDecoded += from.DescBytesDecoded
 	into.ChainSteps += from.ChainSteps
 	into.WordsScanned += from.WordsScanned
+	into.PlanHits += from.PlanHits
+	into.PlanMisses += from.PlanMisses
+	into.SiteCacheHits += from.SiteCacheHits
+	into.SiteCacheMisses += from.SiteCacheMisses
+	into.KernelWords += from.KernelWords
 }
 
 // ---------------------------------------------------------------------------
@@ -161,8 +185,9 @@ func (c *Collector) collectParallelCopy(tasks []TaskRoots, scans []TaskScan) boo
 		mergeStats(&c.Stats, &local[i])
 		wordsBefore := c.Heap.Stats.WordsCopied
 		objBefore := c.Stats.ObjectsCopied
-		for _, j := range jobLists[i] {
-			tasks[i].Stack[j.idx] = j.g.Trace(c, tasks[i].Stack[j.idx])
+		for j := range jobLists[i] {
+			job := &jobLists[i][j]
+			tasks[i].Stack[job.idx] = c.traceJob(job, tasks[i].Stack[job.idx])
 			c.Stats.SlotsTraced++
 		}
 		scans[i] = TaskScan{
@@ -183,15 +208,57 @@ func (c *Collector) serialFallback(tasks []TaskRoots, scans []TaskScan) {
 	c.collectSerial(tasks, scans)
 }
 
+// ResolveRoots resolves every task's complete root set — frame chains,
+// gc_word lookups, type-argument resolution, plan construction — without
+// mutating the heap, the stacks or the collector's counters. It is the
+// pure metadata half of a collection, exported so the benchmark harness
+// (experiment E10) can time resolution separately from tracing. It
+// returns the number of roots resolved. Tagged collections have no
+// resolution phase (the scan is header-driven) and return 0.
+func (c *Collector) ResolveRoots(tasks []TaskRoots) int {
+	if c.Strat == StratTagged {
+		return 0
+	}
+	c.prepareFastPath()
+	var st Stats
+	total := 0
+	for i := range tasks {
+		total += len(c.taskJobs(tasks[i], &st))
+	}
+	return total
+}
+
 // taskJobs resolves one task's complete root set without mutating the
 // heap: the job list mirrors collectTask's trace order slot for slot.
 func (c *Collector) taskJobs(t TaskRoots, st *Stats) []rootJob {
 	fps, pcs := frameChain(t)
+	fast := c.Strat == StratCompiled && !c.DisableFastPath
 	var jobs []rootJob
 	var incoming pkg
+	var ic planIC
 	for i, fp := range fps {
-		siteIdx, site := c.siteAt(pcs[i])
+		siteIdx, site := c.siteAtFast(pcs[i], st)
 		fi := c.Prog.Funcs[site.Func]
+		if fast {
+			// Compiled fast path: the memoized plan already carries the
+			// resolved slot routines, kernels, the deduplicated argument
+			// map and the outgoing package (fastpath.go).
+			targs := c.frameTypeArgs(fi, incoming, t.Stack, fp)
+			plan := c.planForIC(&ic, siteIdx, site, targs, st)
+			base := fp + 2
+			for k := range plan.slots {
+				jobs = append(jobs, planJob(base, &plan.slots[k]))
+			}
+			if t.AtCall && i == len(fps)-1 {
+				for k := range plan.args {
+					jobs = append(jobs, planJob(base, &plan.args[k]))
+				}
+			}
+			if i < len(fps)-1 {
+				incoming = plan.out
+			}
+			continue
+		}
 		var targs []TypeGC
 		if c.Strat == StratAppel {
 			targs = c.appelTypeArgs(t, fps, pcs, i, st)
@@ -230,12 +297,13 @@ func (c *Collector) frameJobs(jobs []rootJob, siteIdx int, site *code.SiteInfo, 
 	if atCall {
 		// Mirror traceFrame's dedupe: a slot covered by both the frame walk
 		// and the site's argument map is traced once only.
-	args:
+		var seen slotSet
+		for _, j := range jobs[start:] {
+			seen.add(j.idx - base)
+		}
 		for _, e := range site.Args {
-			for _, j := range jobs[start:] {
-				if j.idx == base+e.Slot {
-					continue args
-				}
+			if seen.has(e.Slot) {
+				continue
 			}
 			jobs = append(jobs, rootJob{idx: base + e.Slot, g: c.FromDesc(e.Desc, targs)})
 		}
@@ -253,8 +321,14 @@ func (c *Collector) collectParallelMark(tasks []TaskRoots, scans []TaskScan, glo
 	if !c.runWorkers(len(tasks), func(i int) {
 		st := &local[i]
 		jobs := c.taskJobs(tasks[i], st)
-		for _, j := range jobs {
-			words[i] += c.markValue(j.g, tasks[i].Stack[j.idx], st)
+		for j := range jobs {
+			job := &jobs[j]
+			if job.k != kGeneric {
+				ps := planSlot{g: job.g, k: job.k, spine: job.spine}
+				words[i] += c.markKernel(&ps, tasks[i].Stack[job.idx], st)
+			} else {
+				words[i] += c.markValue(job.g, tasks[i].Stack[job.idx], st)
+			}
 			st.SlotsTraced++
 		}
 	}) {

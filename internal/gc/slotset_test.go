@@ -1,0 +1,83 @@
+package gc
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSlotSet(t *testing.T) {
+	var s slotSet
+	probe := []int{0, 1, 63, 64, 65, 127, 128, 300, 1000}
+	for _, slot := range probe {
+		if s.has(slot) {
+			t.Fatalf("empty set has slot %d", slot)
+		}
+	}
+	for i, slot := range probe {
+		if i%2 == 0 {
+			s.add(slot)
+		}
+	}
+	for i, slot := range probe {
+		want := i%2 == 0
+		if s.has(slot) != want {
+			t.Fatalf("slot %d: has=%v want %v", slot, s.has(slot), want)
+		}
+	}
+	// Idempotent re-add.
+	s.add(0)
+	s.add(1000)
+	if !s.has(0) || !s.has(1000) {
+		t.Fatal("re-add lost membership")
+	}
+}
+
+// BenchmarkSlotDedupe compares the suspended-call dedupe structures: the
+// linear scan the collector used (O(slots) membership ⇒ O(slots²) per
+// suspended frame) against the slotSet bitset. Wide frames — generated
+// code with many live temporaries — are where the quadratic scan hurt.
+func BenchmarkSlotDedupe(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		slots := make([]int, n)
+		for i := range slots {
+			slots[i] = i
+		}
+		b.Run(fmt.Sprintf("linear/slots=%d", n), func(b *testing.B) {
+			for b.Loop() {
+				traced := make([]int, 0, n)
+				for _, s := range slots {
+					traced = append(traced, s)
+				}
+				hits := 0
+				for _, s := range slots {
+					for _, tr := range traced {
+						if tr == s {
+							hits++
+							break
+						}
+					}
+				}
+				if hits != n {
+					b.Fatal("bad dedupe")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("bitset/slots=%d", n), func(b *testing.B) {
+			for b.Loop() {
+				var traced slotSet
+				for _, s := range slots {
+					traced.add(s)
+				}
+				hits := 0
+				for _, s := range slots {
+					if traced.has(s) {
+						hits++
+					}
+				}
+				if hits != n {
+					b.Fatal("bad dedupe")
+				}
+			}
+		})
+	}
+}

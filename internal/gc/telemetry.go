@@ -46,6 +46,13 @@ type CollectionRecord struct {
 	SlotsTraced  int64 `json:"slots_traced"`
 	// WordsScanned counts tag-driven word scans (tagged strategy only).
 	WordsScanned int64 `json:"words_scanned,omitempty"`
+	// Fast-path counters (Compiled strategy unless disabled): frame-plan
+	// cache hits/misses, pc→site cache hits, and words traced by
+	// specialized kernels rather than generic Trace dispatch.
+	PlanHits      int64 `json:"plan_hits,omitempty"`
+	PlanMisses    int64 `json:"plan_misses,omitempty"`
+	SiteCacheHits int64 `json:"site_cache_hits,omitempty"`
+	KernelWords   int64 `json:"kernel_words,omitempty"`
 	// SerialFallback marks a collection whose parallel scan was aborted by
 	// the watchdog and redone sequentially (Parallelism reads 1).
 	SerialFallback bool `json:"serial_fallback,omitempty"`
@@ -179,6 +186,10 @@ func (t *Telemetry) record(c *Collector, pauseNS int64, parallel, fallback bool,
 		FramesTraced:   c.Stats.FramesTraced - statsBefore.FramesTraced,
 		SlotsTraced:    c.Stats.SlotsTraced - statsBefore.SlotsTraced,
 		WordsScanned:   c.Stats.WordsScanned - statsBefore.WordsScanned,
+		PlanHits:       c.Stats.PlanHits - statsBefore.PlanHits,
+		PlanMisses:     c.Stats.PlanMisses - statsBefore.PlanMisses,
+		SiteCacheHits:  c.Stats.SiteCacheHits - statsBefore.SiteCacheHits,
+		KernelWords:    c.Stats.KernelWords - statsBefore.KernelWords,
 		SerialFallback: fallback,
 		FreeListHitPct: hitPct,
 		Tasks:          scans,

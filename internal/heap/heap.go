@@ -344,6 +344,27 @@ func (h *Heap) ScanToSpace(trace func(code.Word) code.Word) {
 	}
 }
 
+// ScanToSpaceBatched is ScanToSpace with one callback per object rather
+// than per field word: scan receives the object's field words as a slice
+// aliasing to-space and rewrites traced values in place (copies it makes
+// grow the frontier as usual). Batching removes a closure call per word
+// from the tagged collection's hot scan loop; the backing array never
+// moves during a collection, so the slice stays valid across copies.
+func (h *Heap) ScanToSpaceBatched(scan func(fields []code.Word)) {
+	if h.Repr != code.ReprTagged {
+		panic("ScanToSpaceBatched: requires tagged headers")
+	}
+	if !h.inGC {
+		panic("ScanToSpaceBatched: no collection in progress")
+	}
+	p := h.toOff
+	for p < h.alloc {
+		n := int(h.mem[p] >> 1)
+		scan(h.mem[p+1 : p+1+n])
+		p += 1 + n
+	}
+}
+
 // CopyObject copies an n-field object into to-space during a collection,
 // records its forwarding, and returns the new encoded pointer. Field
 // contents are copied verbatim; the collector re-traces them via Field on

@@ -54,6 +54,11 @@ type Options struct {
 	// sequential collections produce bit-identical heaps; see
 	// internal/gc/parallel.go.
 	Parallelism int
+	// DisableGCFastPath turns off the Compiled strategy's collection fast
+	// path (frame-plan cache, pc→site cache, specialized trace kernels —
+	// internal/gc/fastpath.go), restoring uncached per-frame resolution.
+	// The differential suite's oracle configuration.
+	DisableGCFastPath bool
 	// MaxSteps bounds execution; 0 means effectively unbounded.
 	MaxSteps int64
 	// VerifyHeap runs the post-collection heap verifier after every
@@ -218,6 +223,7 @@ func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result,
 		m.MaxSteps = opts.MaxSteps
 	}
 	m.Col.Parallelism = opts.Parallelism
+	m.Col.DisableFastPath = opts.DisableGCFastPath
 	m.Col.Faults = opts.faultPlan()
 	if opts.VerifyHeap {
 		m.Col.Verify = true

@@ -68,6 +68,7 @@ func Eval(src string, opts Options) (*EvalResult, error) {
 		m.MaxSteps = opts.MaxSteps
 	}
 	m.Col.Parallelism = opts.Parallelism
+	m.Col.DisableFastPath = opts.DisableGCFastPath
 	raw, err := m.Run()
 	if err != nil {
 		return nil, err
@@ -206,6 +207,17 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 		}
 	}
 	b.WriteByte('\n')
+	var planHits, planMisses, siteHits, kernelWords int64
+	for _, r := range t.Records {
+		planHits += r.PlanHits
+		planMisses += r.PlanMisses
+		siteHits += r.SiteCacheHits
+		kernelWords += r.KernelWords
+	}
+	if planHits+planMisses+siteHits+kernelWords > 0 {
+		fmt.Fprintf(&b, "fast path: plan-hits=%d plan-misses=%d site-cache-hits=%d kernel-words=%d\n",
+			planHits, planMisses, siteHits, kernelWords)
+	}
 	if rs := t.Resilience; rs != (gc.ResilienceStats{}) {
 		fmt.Fprintf(&b, "resilience: injected-ooms=%d torture-collections=%d emergency-collections=%d heap-growths=%d watchdog-trips=%d serial-fallbacks=%d task-faults=%d\n",
 			rs.InjectedOOMs, rs.TortureCollections, rs.EmergencyCollections,

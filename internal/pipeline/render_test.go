@@ -134,6 +134,7 @@ seq  par  before  live  surv%  words  frames  slots  flhit%
   3    1     256    16    6.2     16      41      1       -
   4    1     256    16    6.2     16      45      1       -
 survivor histogram: 0-10%=5
+fast path: plan-hits=179 plan-misses=6 site-cache-hits=179 kernel-words=80
 `
 	if got != want {
 		t.Errorf("table mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -157,6 +158,7 @@ seq  par  before  live  surv%  words  frames  slots  flhit%
   3    1     256    16    6.2     16      41      1   100.0
   4    1     256    16    6.2     16      45      1   100.0
 survivor histogram: 0-10%=5
+fast path: plan-hits=179 plan-misses=6 site-cache-hits=179 kernel-words=80
 `
 	if got != want {
 		t.Errorf("table mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -187,6 +189,10 @@ func TestTelemetryJSONGolden(t *testing.T) {
       "words_visited": 16,
       "frames_traced": 29,
       "slots_traced": 1,
+      "plan_hits": 23,
+      "plan_misses": 6,
+      "site_cache_hits": 23,
+      "kernel_words": 16,
       "free_list_hit_pct": -1,
       "tasks": [
         {

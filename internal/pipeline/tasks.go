@@ -79,6 +79,7 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 		return nil, err
 	}
 	group.Col.Parallelism = opts.Parallelism
+	group.Col.DisableFastPath = opts.DisableGCFastPath
 	group.Col.Faults = opts.faultPlan()
 	if opts.VerifyHeap {
 		group.Col.Verify = true
