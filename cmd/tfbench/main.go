@@ -1,4 +1,4 @@
-// Command tfbench regenerates the experiment tables (E1–E10; see
+// Command tfbench regenerates the experiment tables (E1–E11; see
 // EXPERIMENTS.md). With arguments, it runs only the named experiments.
 //
 //	tfbench              # all experiments
@@ -28,6 +28,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the telemetry report as JSON instead of tables")
 	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection (telemetry report)")
 	torture := flag.Bool("gc-torture", false, "collect before every allocation (telemetry report)")
+	nursery := flag.Int("gc-nursery", 0, "generational nursery size in words per young half (telemetry report)")
 	benchJSON := flag.String("bench-json", "", "write the benchmark snapshot (schema tagfree-bench/v1) to this file and exit; \"-\" for stdout")
 	flag.Parse()
 
@@ -47,8 +48,9 @@ func main() {
 		"e8":  experiments.E8RuntimeReps,
 		"e9":  func() *experiments.Table { return experiments.E9MarkSweep(*repeats) },
 		"e10": experiments.E10FastPath,
+		"e11": experiments.E11Generational,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -56,7 +58,7 @@ func main() {
 	}
 	for _, name := range selected {
 		if strings.EqualFold(name, "telemetry") {
-			telemetryReport(*par, *asJSON, *verifyHeap, *torture)
+			telemetryReport(*par, *asJSON, *verifyHeap, *torture, *nursery)
 			continue
 		}
 		r, ok := runners[strings.ToLower(name)]
@@ -95,17 +97,19 @@ func writeBenchSnapshot(path string, repeats int) {
 // strategy in both heap disciplines and emits each run's per-collection
 // telemetry — the table form for reading, the JSON form for tooling.
 // verify and torture thread the robustness knobs through, turning the
-// report into a GC stress run over the whole corpus.
-func telemetryReport(par int, asJSON, verify, torture bool) {
+// report into a GC stress run over the whole corpus; nursery > 0 runs it
+// generationally (tier2-nursery combines all three under -race).
+func telemetryReport(par int, asJSON, verify, torture bool, nursery int) {
 	for _, w := range workloads.Tasking {
 		for _, ms := range []bool{false, true} {
 			res, err := pipeline.RunTasks(w.Source, w.Entries, pipeline.Options{
-				Strategy:    gc.StratCompiled,
-				HeapWords:   w.HeapWords,
-				MarkSweep:   ms,
-				Parallelism: par,
-				VerifyHeap:  verify,
-				Torture:     torture,
+				Strategy:     gc.StratCompiled,
+				HeapWords:    w.HeapWords,
+				MarkSweep:    ms,
+				Parallelism:  par,
+				VerifyHeap:   verify,
+				Torture:      torture,
+				NurseryWords: nursery,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "telemetry %s: %v\n", w.Name, err)

@@ -404,6 +404,15 @@ type Program struct {
 	// DescNodes is the number of unique type-descriptor nodes (metadata
 	// size accounting, experiment E4).
 	DescNodes int
+	// StoreDescs maps the pc of a pointer-bearing OpStFld instruction to
+	// the static type descriptor of the *stored value* (the field's
+	// declared type at the store site). The generational write barrier
+	// consults it to type an old→young remembered-set entry without any
+	// runtime tags; stores of never-pointer values have no entry, so the
+	// barrier skips them for free. Stack slots and globals are absent by
+	// design: both are rescanned as roots on every minor collection
+	// (the paper's frame-routine model).
+	StoreDescs map[int]*TypeDesc
 }
 
 // FuncByName returns the index of the named function, or -1.

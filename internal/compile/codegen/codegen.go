@@ -348,6 +348,32 @@ func (fe *femit) scratch() int {
 	return s
 }
 
+// noteStore records the static type of a heap store's value in
+// Program.StoreDescs (keyed by the OpStFld's pc, which is final at emit
+// time: labels patch operand words, never instruction positions). The
+// generational write barrier uses the descriptor to type old→young
+// remembered-set entries. Values that can never be heap pointers
+// (constants, nullary constructors, strings) get no entry.
+func (fe *femit) noteStore(pc int, a ir.Atom) {
+	var t types.Type
+	switch a := a.(type) {
+	case *ir.ASlot:
+		t = a.Slot.Type
+	case *ir.AGlobal:
+		t = a.Global.Type
+	default:
+		return
+	}
+	d := fe.c.descOf(t, fe.f)
+	if !d.MayHoldPointer() {
+		return
+	}
+	if fe.c.prog.StoreDescs == nil {
+		fe.c.prog.StoreDescs = map[int]*code.TypeDesc{}
+	}
+	fe.c.prog.StoreDescs[pc] = d
+}
+
 func (c *Compiler) emitFunc(f *ir.Func, fi *code.FuncInfo) error {
 	fe := &femit{c: c, f: f, fi: fi}
 	fi.Entry = len(c.prog.Code)
@@ -488,6 +514,7 @@ func (fe *femit) emitRhs(dst *ir.Slot, r ir.Rhs) {
 		fe.emit(code.OpLdFld, d, c.atom(r.Ref), 0)
 
 	case *ir.RAssign:
+		fe.noteStore(len(c.prog.Code), r.Val)
 		fe.emit(code.OpStFld, c.atom(r.Ref), 0, c.atom(r.Val))
 		fe.emit(code.OpMove, d, c.atom(&ir.AConst{Kind: ir.ConstUnit}))
 
@@ -594,6 +621,7 @@ func (fe *femit) emitRhs(dst *ir.Slot, r ir.Rhs) {
 
 	case *ir.RPatchCapture:
 		off := 1 + r.Target.NumRepWords + r.Index
+		fe.noteStore(len(c.prog.Code), r.Val)
 		fe.emit(code.OpStFld, c.atom(r.Clos), code.Word(off), c.atom(r.Val))
 		fe.emit(code.OpMove, d, c.atom(&ir.AConst{Kind: ir.ConstUnit}))
 

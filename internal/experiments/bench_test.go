@@ -7,6 +7,36 @@ import (
 	"tagfree/internal/workloads"
 )
 
+// TestPercentile pins the nearest-rank-below rule and the degenerate
+// cases: empty → 0, single sample → itself at every p, out-of-range p
+// clamped to the extremes.
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []int64
+		p      float64
+		want   int64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty p0", []int64{}, 0, 0},
+		{"single p0", []int64{42}, 0, 42},
+		{"single p50", []int64{42}, 0.5, 42},
+		{"single p100", []int64{42}, 1, 42},
+		{"pair p50 rounds down", []int64{10, 20}, 0.5, 10},
+		{"five p0", []int64{1, 2, 3, 4, 5}, 0, 1},
+		{"five p50", []int64{1, 2, 3, 4, 5}, 0.5, 3},
+		{"five p90 rounds down", []int64{1, 2, 3, 4, 5}, 0.9, 4},
+		{"five p100", []int64{1, 2, 3, 4, 5}, 1, 5},
+		{"p below range clamps", []int64{1, 2, 3}, -0.5, 1},
+		{"p above range clamps", []int64{1, 2, 3}, 99.9, 3},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: percentile(%v, %v) = %d, want %d", c.name, c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
 // TestBenchSnapshotSmoke exercises the bench harness end to end on a
 // reduced schedule: one pause run per knob combination on the deep-stack
 // workload, 4 workers included, plus one e2e run — and checks the
@@ -43,6 +73,25 @@ func TestBenchSnapshotSmoke(t *testing.T) {
 		t.Fatalf("degenerate e2e run: %+v", e)
 	}
 	snap.Runs = append(snap.Runs, e)
+
+	// The generational split on the barrier-heavy workload: minors must be
+	// strictly cheaper than fulls over the tenured resident set, and the
+	// end-to-end counters must show the write barrier actually firing.
+	mw, ok := workloads.TaskByName("taskmutate")
+	if !ok {
+		t.Fatal("taskmutate workload missing")
+	}
+	m := minorPauseRun(mw, false, 20)
+	if m.MinorP50NS <= 0 || m.FullP50NS <= 0 {
+		t.Fatalf("degenerate minor-pause run: %+v", m)
+	}
+	if m.MinorP50NS >= m.FullP50NS {
+		t.Fatalf("minor p50 %dns not below full p50 %dns", m.MinorP50NS, m.FullP50NS)
+	}
+	if m.BarrierHits == 0 || m.MinorCollections == 0 {
+		t.Fatalf("end-to-end counters missing generational activity: %+v", m)
+	}
+	snap.Runs = append(snap.Runs, m)
 
 	js, err := json.Marshal(snap)
 	if err != nil {

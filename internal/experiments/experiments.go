@@ -15,6 +15,7 @@
 //	E8  runtime type reps: the completeness gap the paper's protocol misses
 //	E9  collection disciplines: copying vs mark/sweep on the same maps
 //	E10 collection fast path: pause breakdown, cached vs uncached (bench.go)
+//	E11 generational nursery: minor vs full collection pause (bench.go)
 package experiments
 
 import (
@@ -510,6 +511,7 @@ func All(repeats int) []*Table {
 		E8RuntimeReps(),
 		E9MarkSweep(repeats),
 		E10FastPath(),
+		E11Generational(),
 	}
 }
 

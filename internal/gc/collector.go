@@ -129,7 +129,24 @@ type Collector struct {
 	// fast path must produce bit-identical heaps.
 	DisableFastPath bool
 
+	// Gen counts generational activity (see generational.go); all zero
+	// unless the heap has a nursery.
+	Gen GenStats
+
 	b *builder
+	// Generational state (generational.go): the typed remembered set with
+	// its dedup index, the store-descriptor→routine memo, whether the next
+	// collection must be a major, whether the in-progress trace should
+	// record old→young edges, and what the last collection was.
+	remembered    []remEntry
+	remIndex      map[remKey]int
+	storeG        map[*code.TypeDesc]TypeGC
+	genForceMajor bool
+	genTracking   bool
+	lastMinor     bool
+	// scratches holds one per-worker scratch arena (worker 0 doubles as the
+	// serial path's); reset at the top of every collection.
+	scratches []*scratch
 	// siteCache is the pc→site lookup cache: siteIdx+1 per code index,
 	// zero = unfilled (see siteAtFast).
 	siteCache []int32
@@ -209,6 +226,81 @@ func isGround(d *code.TypeDesc) bool {
 	return true
 }
 
+// scratch is one worker's per-collection arena. Type-argument windows and
+// root-job lists used to be allocated per frame and per stack walk — on a
+// deep polymorphic tower that is thousands of short-lived slices per
+// collection; now both bump-allocate here and the whole arena resets at the
+// top of the next collection. Growth never invalidates a window already
+// handed out: when a block fills, a fresh block simply becomes the arena
+// and earlier windows keep their old backing array.
+type scratch struct {
+	targs []TypeGC
+	jobs  []rootJob
+}
+
+func (s *scratch) reset() {
+	s.targs = s.targs[:0]
+	s.jobs = s.jobs[:0]
+}
+
+// typeArgs returns an n-slot window at the arena tail. Callers assign every
+// slot, so stale contents from a previous cycle never leak.
+func (s *scratch) typeArgs(n int) []TypeGC {
+	if n == 0 {
+		return nil
+	}
+	if cap(s.targs)-len(s.targs) < n {
+		size := 2 * cap(s.targs)
+		if size < 64 {
+			size = 64
+		}
+		for size < n {
+			size *= 2
+		}
+		s.targs = make([]TypeGC, 0, size)
+	}
+	l := len(s.targs)
+	s.targs = s.targs[:l+n]
+	return s.targs[l : l+n : l+n]
+}
+
+// jobsWindow opens a job window at the arena tail for one task's root set;
+// commitJobs closes it. If appends outgrew the block, the window's new
+// backing array becomes the arena and earlier windows keep the old one.
+func (s *scratch) jobsWindow() []rootJob {
+	return s.jobs[len(s.jobs):len(s.jobs)]
+}
+
+func (s *scratch) commitJobs(jobs []rootJob) {
+	if cap(jobs) > 0 {
+		s.jobs = jobs
+	}
+}
+
+// resetScratches sizes one arena per worker (worker 0 doubles as the serial
+// path's) and resets them for this collection.
+func (c *Collector) resetScratches() {
+	n := c.Parallelism
+	if n < 1 {
+		n = 1
+	}
+	for len(c.scratches) < n {
+		c.scratches = append(c.scratches, &scratch{})
+	}
+	for _, s := range c.scratches {
+		s.reset()
+	}
+}
+
+// scratch0 returns the serial path's arena (allocating it on first use, for
+// callers that run outside a collection, like ResolveRoots).
+func (c *Collector) scratch0() *scratch {
+	if len(c.scratches) == 0 {
+		c.scratches = append(c.scratches, &scratch{})
+	}
+	return c.scratches[0]
+}
+
 // pkg is the type information a frame's gc routine hands to its callee's:
 // resolved type arguments for direct calls, or the closure's structured
 // type_gc_routine for closure calls (Figure 4).
@@ -217,20 +309,56 @@ type pkg struct {
 	arrow  TypeGC
 }
 
-// Collect runs one collection over all task stacks and globals.
+// Collect runs one collection over all task stacks and globals: a minor
+// nursery collection when the remembered set can stand in for the old
+// region's interior edges (see generational.go), else a full one.
 func (c *Collector) Collect(tasks []TaskRoots, globals []code.Word) {
+	if c.shouldMinor() {
+		c.collectMinor(tasks, globals)
+		return
+	}
+	c.CollectFull(tasks, globals)
+}
+
+// shouldMinor reports whether the next collection may be a minor one: a
+// nursery is configured and nothing has poisoned the remembered set since
+// the last major (untyped store, overflow, pre-tenured allocation).
+func (c *Collector) shouldMinor() bool {
+	return c.nurseryOn() && !c.genForceMajor
+}
+
+// CollectFull runs one full (major) collection over all task stacks and
+// globals. On a nursery heap it also rebuilds the remembered set from the
+// old→young edges the trace observes, discharging any force-major
+// condition.
+func (c *Collector) CollectFull(tasks []TaskRoots, globals []code.Word) {
 	start := time.Now()
 	c.Stats.Collections++
+	c.lastMinor = false
+	nursery := c.nurseryOn()
+	kind := ""
+	if nursery {
+		kind = "major"
+		c.Gen.MajorCollections++
+		c.resetRemembered()
+	}
 	statsBefore := c.Stats
 	heapBefore := c.Heap.Stats
-	usedBefore := c.Heap.Used()
+	usedBefore := c.Heap.Used() + c.Heap.YoungUsed()
+	c.resetScratches()
 	c.Heap.BeginGC()
+	c.genTracking = nursery
 
 	markedAtStart := c.Heap.Stats.WordsCopied
 	c.traceGlobals(globals)
 
 	scans := make([]TaskScan, len(tasks))
-	parallel := c.Parallelism > 1 && c.Strat != StratTagged
+	// Parallel marking cannot run over a nursery: young objects move during
+	// evacuation and VisitShared refuses them. Copying's parallel phase only
+	// resolves roots — the trace that moves objects is the ordered serial
+	// phase 2 — so it stays parallel with a nursery.
+	parallel := c.Parallelism > 1 && c.Strat != StratTagged &&
+		!(nursery && c.Heap.Kind() == heap.MarkSweep)
 	fallback := false
 	if parallel {
 		// Republish the memo-table and plan-cache snapshots so workers
@@ -246,10 +374,47 @@ func (c *Collector) Collect(tasks []TaskRoots, globals []code.Word) {
 	}
 
 	c.Stats.TypeGCBuilt = c.b.Built
+	c.genTracking = false
 	c.Heap.EndGC()
 	pause := time.Since(start).Nanoseconds()
 	c.Stats.PauseNS += pause
-	c.Telem.record(c, pause, parallel, fallback, scans, usedBefore, statsBefore, heapBefore)
+	c.Telem.record(c, kind, pause, parallel, fallback, scans, usedBefore, statsBefore, heapBefore)
+	if c.Verify {
+		c.verifyCollection(tasks, globals)
+	}
+}
+
+// collectMinor evacuates the nursery only: globals and every task stack are
+// re-traced exactly as in a full collection (the paper's frame routines
+// make that re-trace cheap, and VisitObject stops the walk at the young/old
+// boundary by returning old objects untouched), then the remembered set
+// supplies the interior old→young edges. Minors are always serial: the
+// pause is bounded by the nursery size, so there is nothing worth fanning
+// workers out over.
+func (c *Collector) collectMinor(tasks []TaskRoots, globals []code.Word) {
+	start := time.Now()
+	c.Stats.Collections++
+	c.lastMinor = true
+	c.Gen.MinorCollections++
+	statsBefore := c.Stats
+	heapBefore := c.Heap.Stats
+	usedBefore := c.Heap.Used() + c.Heap.YoungUsed()
+	c.resetScratches()
+	c.Heap.BeginMinorGC()
+	c.genTracking = true
+
+	c.traceGlobals(globals)
+	scans := make([]TaskScan, len(tasks))
+	c.collectSerial(tasks, scans)
+	c.traceRemembered()
+
+	c.Stats.TypeGCBuilt = c.b.Built
+	c.genTracking = false
+	c.Heap.EndMinorGC()
+	c.refilterRemembered()
+	pause := time.Since(start).Nanoseconds()
+	c.Stats.PauseNS += pause
+	c.Telem.record(c, "minor", pause, false, false, scans, usedBefore, statsBefore, heapBefore)
 	if c.Verify {
 		c.verifyCollection(tasks, globals)
 	}
@@ -270,13 +435,14 @@ func (c *Collector) traceGlobals(globals []code.Word) {
 // collectSerial is the sequential oracle: task stacks scanned one at a
 // time, in task order. The parallel path re-runs it after a watchdog abort.
 func (c *Collector) collectSerial(tasks []TaskRoots, scans []TaskScan) {
+	sc := c.scratch0()
 	for i := range tasks {
 		wordsBefore := c.Heap.Stats.WordsCopied
 		snap := c.Stats
 		if c.Strat == StratTagged {
 			c.collectTaggedTask(tasks[i])
 		} else {
-			c.collectTask(tasks[i])
+			c.collectTask(tasks[i], sc)
 		}
 		scans[i] = TaskScan{
 			Task:    i,
@@ -291,7 +457,7 @@ func (c *Collector) collectSerial(tasks []TaskRoots, scans []TaskScan) {
 // collectTask walks one task's stack oldest→newest, passing type packages
 // frame to frame (§3: "the stack is traversed at most twice" — one pass to
 // gather frame pointers, one to trace).
-func (c *Collector) collectTask(t TaskRoots) {
+func (c *Collector) collectTask(t TaskRoots, sc *scratch) {
 	fps, pcs := frameChain(t)
 	fast := c.Strat == StratCompiled && !c.DisableFastPath
 	var incoming pkg
@@ -303,7 +469,7 @@ func (c *Collector) collectTask(t TaskRoots) {
 			// Compiled fast path: resolve the frame's type arguments, then
 			// run the memoized plan — slot routines, kernels, dedupe and
 			// outgoing package all precomputed per (site, instantiation).
-			targs := c.frameTypeArgs(fi, incoming, t.Stack, fp)
+			targs := c.frameTypeArgs(fi, incoming, t.Stack, fp, sc)
 			plan := c.planForIC(&ic, siteIdx, site, targs, &c.Stats)
 			c.tracePlan(plan, t.Stack, fp+2, t.AtCall && i == len(fps)-1)
 			if i < len(fps)-1 {
@@ -313,9 +479,9 @@ func (c *Collector) collectTask(t TaskRoots) {
 		}
 		var targs []TypeGC
 		if c.Strat == StratAppel {
-			targs = c.appelTypeArgs(t, fps, pcs, i, &c.Stats)
+			targs = c.appelTypeArgs(t, fps, pcs, i, &c.Stats, sc)
 		} else {
-			targs = c.frameTypeArgs(fi, incoming, t.Stack, fp)
+			targs = c.frameTypeArgs(fi, incoming, t.Stack, fp, sc)
 		}
 		c.traceFrame(siteIdx, site, fi, t.Stack, fp, targs, t.AtCall && i == len(fps)-1)
 		if i < len(fps)-1 && c.Strat != StratAppel {
@@ -363,8 +529,9 @@ func (c *Collector) siteAt(pc int) (int, *code.SiteInfo) {
 	return int(gcw), c.Prog.Sites[gcw]
 }
 
-// frameTypeArgs resolves a frame's type environment.
-func (c *Collector) frameTypeArgs(fi *code.FuncInfo, incoming pkg, stack []code.Word, fp int) []TypeGC {
+// frameTypeArgs resolves a frame's type environment. Windows come from the
+// caller's scratch arena, valid until the next collection begins.
+func (c *Collector) frameTypeArgs(fi *code.FuncInfo, incoming pkg, stack []code.Word, fp int, sc *scratch) []TypeGC {
 	switch fi.TypeSource {
 	case code.TypeSourceNone:
 		return nil
@@ -372,15 +539,15 @@ func (c *Collector) frameTypeArgs(fi *code.FuncInfo, incoming pkg, stack []code.
 		return incoming.direct
 	case code.TypeSourceEnv:
 		env := stack[fp+2] // slot 0: the closure being executed
-		return c.envTypeArgs(fi, env, incoming.arrow)
+		return c.envTypeArgs(fi, env, incoming.arrow, sc)
 	}
 	return nil
 }
 
 // envTypeArgs derives a closure-called frame's type arguments from the
 // call-site package (derivable entries) and the closure's rep words.
-func (c *Collector) envTypeArgs(fi *code.FuncInfo, clos code.Word, ref TypeGC) []TypeGC {
-	targs := make([]TypeGC, fi.TypeEnvLen)
+func (c *Collector) envTypeArgs(fi *code.FuncInfo, clos code.Word, ref TypeGC, sc *scratch) []TypeGC {
+	targs := sc.typeArgs(fi.TypeEnvLen)
 	for i := 0; i < fi.TypeEnvLen; i++ {
 		switch {
 		case fi.RepWord != nil && fi.RepWord[i] >= 0 && code.IsBoxedValue(c.Heap.Repr, clos):
@@ -477,12 +644,12 @@ func (c *Collector) traceFrame(siteIdx int, site *code.SiteInfo, fi *code.FuncIn
 // function's activation record may involve traversing a fair amount of the
 // stack" (§1.1.1/§3). The work is O(i) per frame, O(n²) per collection.
 // Chain steps land in st so parallel workers can count into local stats.
-func (c *Collector) appelTypeArgs(t TaskRoots, fps, pcs []int, target int, st *Stats) []TypeGC {
+func (c *Collector) appelTypeArgs(t TaskRoots, fps, pcs []int, target int, st *Stats, sc *scratch) []TypeGC {
 	var incoming pkg
 	for j := 0; j <= target; j++ {
 		_, site := c.siteAtFast(pcs[j], st)
 		fi := c.Prog.Funcs[site.Func]
-		targs := c.frameTypeArgs(fi, incoming, t.Stack, fps[j])
+		targs := c.frameTypeArgs(fi, incoming, t.Stack, fps[j], sc)
 		st.ChainSteps++
 		if j == target {
 			return targs

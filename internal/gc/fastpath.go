@@ -189,7 +189,7 @@ func (c *Collector) traceKernel(ps *planSlot, w code.Word, st *Stats) code.Word 
 		}
 		return nw
 	case kSpineFlat:
-		return c.traceSpine(ps.spine, w, st)
+		return c.traceSpine(ps.spine, ps.g, w, st)
 	}
 	return ps.g.Trace(c, w)
 }
@@ -197,15 +197,16 @@ func (c *Collector) traceKernel(ps *planSlot, w code.Word, st *Stats) code.Word 
 // traceSpine is the flattened loop for const-payload data spines: visit,
 // link the previous copy's tail, advance — dataG.Trace minus the
 // per-field FromDesc and Trace dispatch (payload words are correct
-// verbatim after the copy).
-func (c *Collector) traceSpine(sk *spineKernel, w code.Word, st *Stats) code.Word {
+// verbatim after the copy). g is the spine's own routine, threaded through
+// for the generational tail-link barrier (setField).
+func (c *Collector) traceSpine(sk *spineKernel, g TypeGC, w code.Word, st *Stats) code.Word {
 	head := code.Word(0)
 	haveHead := false
 	var prevPtr code.Word // last copied object; its tail field awaits a link
 	prevField := -1
 	link := func(v code.Word) {
 		if prevField >= 0 {
-			c.Heap.SetField(prevPtr, prevField, v)
+			c.setField(prevPtr, prevField, v, g) // the tail field's routine is g itself
 		} else if !haveHead {
 			head = v
 			haveHead = true

@@ -2,6 +2,8 @@ package gc
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,26 +41,34 @@ type FaultPlan struct {
 	// are aborted and the collection falls back to the sequential path.
 	Watchdog time.Duration
 
-	allocs int64
-	rng    *rand.Rand
+	allocs  atomic.Int64
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
 }
 
 // FailAlloc reports whether the current mutator allocation should fail.
 // Callers consult it once per allocation attempt; injected failures are
 // expected to trigger the same recovery ladder a genuine OOM would.
+//
+// FailAlloc is safe for concurrent callers: the counter is atomic and the
+// lazily seeded PRNG is initialized exactly once and drawn under a lock.
+// (Determinism holds per caller-ordering — concurrent mutators interleave
+// draws in scheduling order, single-threaded runs replay exactly.)
 func (p *FaultPlan) FailAlloc() bool {
-	p.allocs++
-	if p.FailNth > 0 && p.allocs == p.FailNth {
+	n := p.allocs.Add(1)
+	if p.FailNth > 0 && n == p.FailNth {
 		return true
 	}
-	if p.FailEvery > 0 && p.allocs%p.FailEvery == 0 {
+	if p.FailEvery > 0 && n%p.FailEvery == 0 {
 		return true
 	}
 	if p.FailProb > 0 {
-		if p.rng == nil {
-			p.rng = rand.New(rand.NewSource(p.Seed))
-		}
-		if p.rng.Float64() < p.FailProb {
+		p.rngOnce.Do(func() { p.rng = rand.New(rand.NewSource(p.Seed)) })
+		p.rngMu.Lock()
+		hit := p.rng.Float64() < p.FailProb
+		p.rngMu.Unlock()
+		if hit {
 			return true
 		}
 	}
@@ -66,4 +76,4 @@ func (p *FaultPlan) FailAlloc() bool {
 }
 
 // Allocs returns how many allocation decisions the plan has made.
-func (p *FaultPlan) Allocs() int64 { return p.allocs }
+func (p *FaultPlan) Allocs() int64 { return p.allocs.Load() }

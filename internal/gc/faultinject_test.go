@@ -1,0 +1,43 @@
+package gc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFailAllocConcurrent hammers one FaultPlan from many goroutines.
+// Before the counter went atomic and the PRNG seeding went through
+// sync.Once, this raced on p.allocs and on the lazy p.rng init (two
+// goroutines could each build a PRNG and one would be lost, or worse,
+// interleave writes). Run under -race this is a regression test for both.
+func TestFailAllocConcurrent(t *testing.T) {
+	p := &FaultPlan{FailEvery: 7, FailProb: 0.1, Seed: 42}
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p.FailAlloc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Allocs(); got != workers*perWorker {
+		t.Fatalf("Allocs() = %d, want %d (lost increments)", got, workers*perWorker)
+	}
+}
+
+// TestFailAllocDeterministic pins the single-threaded replay guarantee:
+// two plans with the same seed and knobs make identical decisions.
+func TestFailAllocDeterministic(t *testing.T) {
+	a := &FaultPlan{FailNth: 3, FailEvery: 11, FailProb: 0.25, Seed: 7}
+	b := &FaultPlan{FailNth: 3, FailEvery: 11, FailProb: 0.25, Seed: 7}
+	for i := 0; i < 1000; i++ {
+		if a.FailAlloc() != b.FailAlloc() {
+			t.Fatalf("decision %d diverged between identically seeded plans", i)
+		}
+	}
+}

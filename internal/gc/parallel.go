@@ -88,12 +88,14 @@ func (c *Collector) scanOrder(n int) []int {
 }
 
 // runWorkers fans scan over the task indexes with min(Parallelism, n)
-// goroutines pulling from a shared atomic cursor. It returns false when
+// goroutines pulling from a shared atomic cursor; scan receives the worker
+// index (for per-worker scratch arenas) and the claimed task index. It
+// returns false when
 // the fault plan's watchdog expired before the workers finished: stacks
 // not yet claimed are skipped, in-flight scans run to completion (a scan
 // cannot be interrupted mid-object safely), and the caller must discard
 // the partial work and fall back to the sequential path.
-func (c *Collector) runWorkers(n int, scan func(i int)) bool {
+func (c *Collector) runWorkers(n int, scan func(worker, i int)) bool {
 	order := c.scanOrder(n)
 	workers := c.Parallelism
 	if workers > n {
@@ -114,7 +116,7 @@ func (c *Collector) runWorkers(n int, scan func(i int)) bool {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				if aborted.Load() {
@@ -130,9 +132,9 @@ func (c *Collector) runWorkers(n int, scan func(i int)) bool {
 						return // stalled past the watchdog: skip the claimed stack
 					}
 				}
-				scan(order[k])
+				scan(worker, order[k])
 			}
-		}()
+		}(w)
 	}
 	done := make(chan struct{})
 	go func() {
@@ -172,8 +174,8 @@ func mergeStats(into, from *Stats) {
 func (c *Collector) collectParallelCopy(tasks []TaskRoots, scans []TaskScan) bool {
 	jobLists := make([][]rootJob, len(tasks))
 	local := make([]Stats, len(tasks))
-	if !c.runWorkers(len(tasks), func(i int) {
-		jobLists[i] = c.taskJobs(tasks[i], &local[i])
+	if !c.runWorkers(len(tasks), func(w, i int) {
+		jobLists[i] = c.taskJobs(tasks[i], &local[i], c.scratches[w])
 	}) {
 		// Watchdog abort. Phase 1 only read the stopped stacks and built
 		// job lists; no heap or stack word was written, so the fallback can
@@ -220,20 +222,26 @@ func (c *Collector) ResolveRoots(tasks []TaskRoots) int {
 		return 0
 	}
 	c.prepareFastPath()
+	// E10 calls this in a tight loop outside any collection; reset the
+	// arena each time so repeated resolution does not accumulate.
+	sc := c.scratch0()
+	sc.reset()
 	var st Stats
 	total := 0
 	for i := range tasks {
-		total += len(c.taskJobs(tasks[i], &st))
+		total += len(c.taskJobs(tasks[i], &st, sc))
 	}
 	return total
 }
 
 // taskJobs resolves one task's complete root set without mutating the
-// heap: the job list mirrors collectTask's trace order slot for slot.
-func (c *Collector) taskJobs(t TaskRoots, st *Stats) []rootJob {
+// heap: the job list mirrors collectTask's trace order slot for slot. The
+// returned slice lives in sc's arena, valid until the arena's next reset
+// (the top of the next collection).
+func (c *Collector) taskJobs(t TaskRoots, st *Stats, sc *scratch) []rootJob {
 	fps, pcs := frameChain(t)
 	fast := c.Strat == StratCompiled && !c.DisableFastPath
-	var jobs []rootJob
+	jobs := sc.jobsWindow()
 	var incoming pkg
 	var ic planIC
 	for i, fp := range fps {
@@ -243,7 +251,7 @@ func (c *Collector) taskJobs(t TaskRoots, st *Stats) []rootJob {
 			// Compiled fast path: the memoized plan already carries the
 			// resolved slot routines, kernels, the deduplicated argument
 			// map and the outgoing package (fastpath.go).
-			targs := c.frameTypeArgs(fi, incoming, t.Stack, fp)
+			targs := c.frameTypeArgs(fi, incoming, t.Stack, fp, sc)
 			plan := c.planForIC(&ic, siteIdx, site, targs, st)
 			base := fp + 2
 			for k := range plan.slots {
@@ -261,9 +269,9 @@ func (c *Collector) taskJobs(t TaskRoots, st *Stats) []rootJob {
 		}
 		var targs []TypeGC
 		if c.Strat == StratAppel {
-			targs = c.appelTypeArgs(t, fps, pcs, i, st)
+			targs = c.appelTypeArgs(t, fps, pcs, i, st, sc)
 		} else {
-			targs = c.frameTypeArgs(fi, incoming, t.Stack, fp)
+			targs = c.frameTypeArgs(fi, incoming, t.Stack, fp, sc)
 		}
 		jobs = c.frameJobs(jobs, siteIdx, site, fi, fp, targs, t.AtCall && i == len(fps)-1, st)
 		if i < len(fps)-1 && c.Strat != StratAppel {
@@ -271,6 +279,7 @@ func (c *Collector) taskJobs(t TaskRoots, st *Stats) []rootJob {
 		}
 	}
 	st.FramesTraced += int64(len(fps))
+	sc.commitJobs(jobs)
 	return jobs
 }
 
@@ -318,9 +327,9 @@ func (c *Collector) frameJobs(jobs []rootJob, siteIdx int, site *code.SiteInfo, 
 func (c *Collector) collectParallelMark(tasks []TaskRoots, scans []TaskScan, globals []code.Word, markedAtStart int64) bool {
 	local := make([]Stats, len(tasks))
 	words := make([]int64, len(tasks))
-	if !c.runWorkers(len(tasks), func(i int) {
+	if !c.runWorkers(len(tasks), func(w, i int) {
 		st := &local[i]
-		jobs := c.taskJobs(tasks[i], st)
+		jobs := c.taskJobs(tasks[i], st, c.scratches[w])
 		for j := range jobs {
 			job := &jobs[j]
 			if job.k != kGeneric {

@@ -30,6 +30,9 @@ type TaskScan struct {
 type CollectionRecord struct {
 	Seq     int   `json:"seq"`
 	PauseNS int64 `json:"pause_ns"`
+	// Kind is "minor" or "major" on a generational heap, empty otherwise
+	// (so non-nursery runs keep their exact pre-generational JSON).
+	Kind string `json:"gc_kind,omitempty"`
 	// Parallelism is the worker count that actually scanned (1 when the
 	// sequential path ran, whatever Collector.Parallelism was).
 	Parallelism int `json:"parallelism"`
@@ -60,6 +63,12 @@ type CollectionRecord struct {
 	// collection that recycled a free-list block (mark/sweep only; -1 when
 	// no allocations happened in the interval or the heap is copying).
 	FreeListHitPct float64 `json:"free_list_hit_pct"`
+	// Generational counters (nursery heaps only): words tenured by this
+	// collection, remembered-set population after it, and write-barrier
+	// hits since the previous collection.
+	PromotedWords int64 `json:"promoted_words,omitempty"`
+	Remembered    int   `json:"remembered,omitempty"`
+	BarrierHits   int64 `json:"barrier_hits,omitempty"`
 	// Tasks breaks the scan down per task stack.
 	Tasks []TaskScan `json:"tasks,omitempty"`
 }
@@ -120,9 +129,11 @@ type Telemetry struct {
 	// Resilience counts fault-injection and recovery-ladder outcomes.
 	Resilience ResilienceStats `json:"resilience,omitzero"`
 
-	// Interval baselines for per-collection allocation rates.
-	lastAllocs int64
-	lastHits   int64
+	// Interval baselines for per-collection allocation rates and barrier
+	// activity.
+	lastAllocs  int64
+	lastHits    int64
+	lastBarrier int64
 }
 
 // ResilienceStats counts memory-pressure events and their outcomes: what
@@ -147,9 +158,10 @@ type ResilienceStats struct {
 	TaskFaults int64 `json:"task_faults,omitempty"`
 }
 
-// record appends one collection's telemetry. statsBefore/heapBefore are
-// snapshots from the top of Collect; usedBefore the pre-flip occupancy.
-func (t *Telemetry) record(c *Collector, pauseNS int64, parallel, fallback bool, scans []TaskScan, usedBefore int, statsBefore Stats, heapBefore heap.Stats) {
+// record appends one collection's telemetry. kind is "minor"/"major" on a
+// nursery heap, "" otherwise; statsBefore/heapBefore are snapshots from the
+// top of the collection; usedBefore the pre-flip occupancy (old + young).
+func (t *Telemetry) record(c *Collector, kind string, pauseNS int64, parallel, fallback bool, scans []TaskScan, usedBefore int, statsBefore Stats, heapBefore heap.Stats) {
 	if t.Strategy == "" {
 		t.Strategy = c.Strat.String()
 		if c.Heap.Kind() == heap.MarkSweep {
@@ -163,6 +175,12 @@ func (t *Telemetry) record(c *Collector, pauseNS int64, parallel, fallback bool,
 		par = c.Parallelism
 	}
 	live := c.Heap.Stats.LiveAfterLastGC
+	if kind == "minor" {
+		// A minor collection leaves the old region untouched, so the heap's
+		// live figure is stale; report post-collection occupancy instead
+		// (old usage plus young survivors).
+		live = int64(c.Heap.Used() + c.Heap.YoungUsed())
+	}
 	survivor := 0.0
 	if usedBefore > 0 {
 		survivor = 100 * float64(live) / float64(usedBefore)
@@ -175,9 +193,13 @@ func (t *Telemetry) record(c *Collector, pauseNS int64, parallel, fallback bool,
 	}
 	t.lastAllocs, t.lastHits = allocs, hits
 
+	barrier := c.Gen.BarrierHits - t.lastBarrier
+	t.lastBarrier = c.Gen.BarrierHits
+
 	rec := CollectionRecord{
 		Seq:            len(t.Records),
 		PauseNS:        pauseNS,
+		Kind:           kind,
 		Parallelism:    par,
 		UsedBefore:     int64(usedBefore),
 		LiveWords:      live,
@@ -193,6 +215,11 @@ func (t *Telemetry) record(c *Collector, pauseNS int64, parallel, fallback bool,
 		SerialFallback: fallback,
 		FreeListHitPct: hitPct,
 		Tasks:          scans,
+	}
+	if kind != "" {
+		rec.PromotedWords = c.Heap.Stats.PromotedWords - heapBefore.PromotedWords
+		rec.Remembered = c.RememberedLen()
+		rec.BarrierHits = barrier
 	}
 	t.Records = append(t.Records, rec)
 	t.PauseHist[pauseBucket(pauseNS)]++

@@ -247,7 +247,7 @@ func (g *refG) Trace(c *Collector, w code.Word) code.Word {
 		return nw
 	}
 	c.Stats.ObjectsCopied++
-	c.Heap.SetField(nw, 0, g.elem.Trace(c, c.Heap.Field(nw, 0)))
+	c.setField(nw, 0, g.elem.Trace(c, c.Heap.Field(nw, 0)), g.elem)
 	return nw
 }
 
@@ -270,7 +270,7 @@ func (g *tupleG) Trace(c *Collector, w code.Word) code.Word {
 	}
 	c.Stats.ObjectsCopied++
 	for i, f := range g.fields {
-		c.Heap.SetField(nw, i, f.Trace(c, c.Heap.Field(nw, i)))
+		c.setField(nw, i, f.Trace(c, c.Heap.Field(nw, i)), f)
 	}
 	return nw
 }
@@ -296,7 +296,7 @@ func (g *dataG) Trace(c *Collector, w code.Word) code.Word {
 	prevField := -1
 	link := func(v code.Word) {
 		if prevField >= 0 {
-			c.Heap.SetField(prevPtr, prevField, v)
+			c.setField(prevPtr, prevField, v, g) // the tail field's routine is g itself
 		} else if !haveHead {
 			head = v
 			haveHead = true
@@ -328,7 +328,7 @@ func (g *dataG) Trace(c *Collector, w code.Word) code.Word {
 				tailField = off + i
 				continue
 			}
-			c.Heap.SetField(nw, off+i, fgc.Trace(c, c.Heap.Field(nw, off+i)))
+			c.setField(nw, off+i, fgc.Trace(c, c.Heap.Field(nw, off+i)), fgc)
 		}
 		if tailField < 0 {
 			return head0(head, haveHead, nw)
@@ -383,7 +383,7 @@ func (g *arrowG) Trace(c *Collector, w code.Word) code.Word {
 	for i, capDesc := range fi.Captures {
 		off := 1 + fi.NumRepWords + i
 		fgc := c.FromDesc(capDesc, env)
-		c.Heap.SetField(nw, off, fgc.Trace(c, c.Heap.Field(nw, off)))
+		c.setField(nw, off, fgc.Trace(c, c.Heap.Field(nw, off)), fgc)
 	}
 	return nw
 }

@@ -52,8 +52,10 @@ func (c *Collector) verifyCollection(tasks []TaskRoots, globals []code.Word) {
 			v.walk(c.FromDesc(g.Desc, nil), globals[i])
 		}
 		var st Stats // resolution stats of the re-walk are discarded
+		sc := c.scratch0()
+		sc.reset() // the collection's own windows are dead by now
 		for i := range tasks {
-			for _, j := range c.taskJobs(tasks[i], &st) {
+			for _, j := range c.taskJobs(tasks[i], &st, sc) {
 				v.where = fmt.Sprintf("task %d stack slot %d", i, j.idx)
 				v.walk(j.g, tasks[i].Stack[j.idx])
 			}

@@ -50,6 +50,12 @@ type Stats struct {
 	// Growths counts successful Grow calls (the OOM recovery ladder's
 	// grow rung).
 	Growths int64
+	// MinorCollections counts nursery-only collections (included in
+	// Collections).
+	MinorCollections int64
+	// PromotedWords counts words tenured from the nursery into the old
+	// region across all collections.
+	PromotedWords int64
 }
 
 // Heap is a garbage-collected heap over a flat word array: a semispace
@@ -92,7 +98,10 @@ type Heap struct {
 	// the active space exactly.
 	spans      []span
 	spansValid bool
-	Stats      Stats
+	// young is the generational nursery state (see nursery.go); zero value
+	// = no nursery, all fast paths compile to the pre-generational code.
+	young nursery
+	Stats Stats
 }
 
 // span is one live object's extent recorded during a verified collection.
@@ -132,12 +141,18 @@ func (h *Heap) MemSnapshot() []code.Word {
 func (h *Heap) Used() int { return h.alloc - h.fromOff }
 
 // Need reports whether allocating n object words (plus a header in tagged
-// mode) requires a collection first.
+// mode) requires a collection first. With a nursery, a request that fits a
+// young half checks only the nursery bump (a minor collection empties it);
+// oversize requests are pre-tenured and check the old region as before.
 func (h *Heap) Need(n int) bool {
-	if h.kind == MarkSweep {
-		return !h.msCanAlloc(h.objWords(n))
+	total := h.objWords(n)
+	if h.young.enabled && total <= h.young.youngWords {
+		return h.young.youngAlloc+total > h.young.youngOff+h.young.youngWords
 	}
-	return h.alloc+h.objWords(n) > h.limit
+	if h.kind == MarkSweep {
+		return !h.msCanAlloc(total)
+	}
+	return h.alloc+total > h.limit
 }
 
 func (h *Heap) objWords(fields int) int {
@@ -155,6 +170,13 @@ func (h *Heap) objWords(fields int) int {
 // written.
 func (h *Heap) Alloc(n int) (code.Word, error) {
 	total := h.objWords(n)
+	if h.young.enabled && !h.inGC && total <= h.young.youngWords {
+		if ptr, ok := h.youngAllocFast(total); ok {
+			return ptr, nil
+		}
+		return 0, &OutOfMemoryError{Discipline: "nursery", Requested: total,
+			Free: h.young.youngOff + h.young.youngWords - h.young.youngAlloc}
+	}
 	if h.kind == MarkSweep {
 		return h.msAlloc(total)
 	}
@@ -269,6 +291,9 @@ func (h *Heap) BeginGC() {
 	h.Stats.Collections++
 	h.spans = h.spans[:0]
 	h.spansValid = false
+	if h.young.enabled {
+		h.beginYoungGC(false)
+	}
 	if h.kind == MarkSweep {
 		return // marking happens in place; nothing to flip
 	}
@@ -282,6 +307,9 @@ func (h *Heap) EndGC() {
 		panic("EndGC: no collection in progress")
 	}
 	h.inGC = false
+	if h.young.enabled {
+		defer h.endYoungGC()
+	}
 	if h.kind == MarkSweep {
 		h.msEndGC()
 		return
@@ -414,25 +442,30 @@ func (h *Heap) Grow(newWords int) error {
 		return fmt.Errorf("heap: Grow(%d) does not exceed the current %d words", newWords, h.semi)
 	}
 	if h.kind == MarkSweep {
-		mem := make([]code.Word, newWords)
+		// The old region sits at [fromOff, fromOff+semi); with a nursery,
+		// fromOff is the fixed young prefix, which the grow preserves
+		// verbatim (young objects never move).
+		total := h.fromOff + newWords
+		mem := make([]code.Word, total)
 		copy(mem, h.mem)
-		objSize := make([]int32, newWords)
+		objSize := make([]int32, total)
 		copy(objSize, h.objSize)
-		marks := make([]uint32, newWords)
+		marks := make([]uint32, total)
 		copy(marks, h.marks)
 		h.mem, h.objSize, h.marks = mem, objSize, marks
 		if h.gapSize != nil {
-			gapSize := make([]int32, newWords)
+			gapSize := make([]int32, total)
 			copy(gapSize, h.gapSize)
 			h.gapSize = gapSize
 		}
 		h.semi = newWords
-		h.limit = newWords
+		h.limit = h.fromOff + newWords
 		h.spansValid = false
 		h.Stats.Growths++
 		return nil
 	}
 	mem := make([]code.Word, h.fromOff+2*newWords)
+	copy(mem[:2*h.young.youngWords], h.mem[:2*h.young.youngWords])
 	copy(mem[h.fromOff:], h.mem[h.fromOff:h.alloc])
 	h.mem = mem
 	h.toOff = h.fromOff + newWords

@@ -91,6 +91,17 @@ func (h *Heap) msAlloc(n int) (code.Word, error) {
 // It returns the object's current pointer and whether its fields still
 // need tracing (first visit).
 func (h *Heap) VisitObject(ptr code.Word, n int) (code.Word, bool) {
+	if h.young.enabled {
+		if base := h.addrIndex(ptr); base < 2*h.young.youngWords {
+			return h.youngVisit(ptr, base, n)
+		}
+		if h.young.minorGC {
+			// Minor collections leave the old region untouched: old→young
+			// edges come from the remembered set, so an old object needs
+			// no tracing here.
+			return ptr, false
+		}
+	}
 	if h.kind == MarkSweep {
 		base := h.addrIndex(ptr)
 		if h.objSize[base] == 0 {
@@ -124,6 +135,11 @@ func (h *Heap) VisitShared(ptr code.Word, n int) (code.Word, bool) {
 		panic("VisitShared: parallel visits require a mark/sweep heap")
 	}
 	base := h.addrIndex(ptr)
+	if h.young.enabled && base < 2*h.young.youngWords {
+		// Young objects move during evacuation; parallel marking cannot
+		// handle them. Nursery collections run the serial path.
+		panic("VisitShared: young object reached by a parallel marker")
+	}
 	if h.objSize[base] == 0 {
 		panic(fmt.Sprintf("heap: collector visited a freed block at offset %d (size %d)", base, n))
 	}
@@ -167,7 +183,7 @@ func (h *Heap) msEndGC() {
 	// Reset free lists; rebuild from the sweep (freed blocks may have been
 	// reallocated and re-freed across cycles).
 	h.free = map[int][]int{}
-	for base := 0; base < h.alloc; {
+	for base := h.fromOff; base < h.alloc; {
 		n := int(h.objSize[base])
 		if n == 0 {
 			// A gap left by an earlier sweep whose block was never
@@ -208,6 +224,16 @@ func (h *Heap) checkAccess(ptr code.Word, i int) {
 		return
 	}
 	base := h.addrIndex(ptr)
+	if h.young.enabled && base < 2*h.young.youngWords {
+		if h.inGC {
+			return // evacuation reads both halves mid-collection
+		}
+		if base < h.young.youngOff || base >= h.young.youngAlloc {
+			panic(fmt.Sprintf("heap: field access to young offset %d outside the live nursery [%d, %d)",
+				base, h.young.youngOff, h.young.youngAlloc))
+		}
+		return
+	}
 	if base < 0 || base >= len(h.objSize) {
 		panic(fmt.Sprintf("heap: field access outside heap at offset %d", base))
 	}

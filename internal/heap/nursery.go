@@ -1,0 +1,346 @@
+package heap
+
+import (
+	"fmt"
+
+	"tagfree/internal/code"
+)
+
+// Generational nursery support. Goldberg's frame GC routines make stacks
+// re-traceable at zero metadata cost, which is exactly the property a
+// generational collector needs: stack (and global) roots are rescanned on
+// every minor collection anyway, so a remembered set only has to cover
+// old→young *heap* stores (Appel's "Simple Generational Garbage Collection
+// and Fast Allocation" applied to the tag-free setting).
+//
+// Layout: the nursery is two young halves placed at the *front* of the word
+// array, below both disciplines' regions:
+//
+//	mem = [ young half 0 | young half 1 | old region(s) ... ]
+//
+// Young offsets are therefore fixed for the life of the heap — Grow extends
+// only the old region above them, so growing never moves a young object and
+// the recovery ladder works unchanged mid-nursery. A pointer is young iff
+// its offset is below 2*youngWords; the write barrier is two compares.
+//
+// Allocation in the nursery is a pure bump. Every collection (minor or
+// major) evacuates the active young half: an object that has survived
+// promoteAfter collections is copied into the old region (the discipline's
+// normal allocation: semispace bump under copying, bump-or-free-list under
+// mark/sweep); younger survivors are copied to the other young half with
+// their age incremented, Cheney-style between the two halves. If the old
+// region cannot take a promotion the object simply stays young another
+// cycle — promotion degrades instead of failing, so a collection can never
+// overflow: young survivors always fit in the other half.
+//
+// During a *minor* collection old objects are not traced at all:
+// VisitObject returns them untouched, so the existing typed trace
+// (frame plans, kernels, recursive TypeGC walks) stops at the young/old
+// boundary automatically and only the remembered set (owned by the
+// collector, see internal/gc) re-traces interior old→young edges.
+// During a *major*, old objects take the discipline's normal path and the
+// young half is evacuated by the same aging rules in the same trace.
+type nursery struct {
+	enabled bool
+	// youngWords is the size of each half.
+	youngWords int
+	// youngOff is the base offset of the active half (0 or youngWords).
+	youngOff int
+	// youngAlloc is the bump pointer in the active half (absolute offset).
+	youngAlloc int
+	// youngEvac is the bump pointer in the inactive half during a
+	// collection (survivor destination).
+	youngEvac int
+	// youngFwd forwards evacuated objects within one collection: indexed
+	// by offset within the from-half, -1 = not yet visited. Reset after
+	// every collection (side bookkeeping, like the copying forward table).
+	youngFwd []int
+	// ages[i] holds per-object survival counts for half i, indexed by the
+	// object's base offset within that half.
+	ages [2][]uint8
+	// promoteAfter is the survival count at which an object is tenured.
+	promoteAfter uint8
+	// minorGC is true while the in-progress collection is a minor one.
+	minorGC bool
+	// tenureAll promotes every survivor regardless of age. The recovery
+	// ladder sets it for its escalation collections: without it, survivors
+	// below promoteAfter would stay young through any number of full
+	// collections and grows (Grow extends only the old region), so a
+	// young-sized Need could stay unsatisfiable forever.
+	tenureAll bool
+}
+
+// EnableNursery re-lays the heap out with a generational nursery of
+// youngWords words per half in front of the old region(s), promoting
+// survivors to the old space after promoteAfter collections. It must be
+// called before the first allocation (the re-layout moves the old region),
+// and only on a tag-free heap: young objects are headerless and evacuation
+// is type-directed, exactly like the rest of the collector.
+func (h *Heap) EnableNursery(youngWords, promoteAfter int) {
+	if h.Repr != code.ReprTagFree {
+		panic("EnableNursery: the nursery requires the tag-free representation")
+	}
+	if h.inGC || h.Stats.Allocations > 0 {
+		panic("EnableNursery: must be configured before the first allocation")
+	}
+	if youngWords <= 0 {
+		panic("EnableNursery: youngWords must be positive")
+	}
+	if promoteAfter < 1 {
+		promoteAfter = 1
+	}
+	if promoteAfter > 250 {
+		promoteAfter = 250
+	}
+	n := &h.young
+	n.enabled = true
+	n.youngWords = youngWords
+	n.youngOff = 0
+	n.youngAlloc = 0
+	n.promoteAfter = uint8(promoteAfter)
+	n.youngFwd = make([]int, youngWords)
+	for i := range n.youngFwd {
+		n.youngFwd[i] = -1
+	}
+	n.ages[0] = make([]uint8, youngWords)
+	n.ages[1] = make([]uint8, youngWords)
+
+	shift := 2 * youngWords
+	if h.kind == MarkSweep {
+		h.mem = make([]code.Word, shift+h.semi)
+		h.fromOff, h.toOff = shift, shift
+		h.alloc = shift
+		h.limit = shift + h.semi
+		h.objSize = make([]int32, len(h.mem))
+		h.marks = make([]uint32, len(h.mem))
+		h.gapSize = nil
+		return
+	}
+	h.mem = make([]code.Word, shift+2*h.semi)
+	h.fromOff = shift
+	h.toOff = shift + h.semi
+	h.alloc = h.fromOff
+	h.limit = h.fromOff + h.semi
+	// forward stays indexed by (base - fromOff); its length is unchanged.
+}
+
+// NurseryEnabled reports whether the heap has a generational nursery.
+func (h *Heap) NurseryEnabled() bool { return h.young.enabled }
+
+// YoungWords returns the nursery half size (0 without a nursery).
+func (h *Heap) YoungWords() int { return h.young.youngWords }
+
+// YoungUsed returns the words allocated in the active young half.
+func (h *Heap) YoungUsed() int { return h.young.youngAlloc - h.young.youngOff }
+
+// PromoteAfter returns the survival count at which objects are tenured.
+func (h *Heap) PromoteAfter() int { return int(h.young.promoteAfter) }
+
+// MinorActive reports whether a minor collection is in progress.
+func (h *Heap) MinorActive() bool { return h.inGC && h.young.minorGC }
+
+// SetTenureAll switches the nursery into (or out of) tenure-everything
+// mode for subsequent collections. See nursery.tenureAll.
+func (h *Heap) SetTenureAll(on bool) { h.young.tenureAll = on }
+
+// InYoung reports whether w is a pointer into the nursery. Callers must
+// already know w is a pointer-shaped value (tag-free integers can alias
+// heap addresses); the barrier guarantees that via static store types.
+func (h *Heap) InYoung(w code.Word) bool {
+	if !h.young.enabled {
+		return false
+	}
+	off := int(w) - code.HeapBase
+	return off >= 0 && off < 2*h.young.youngWords
+}
+
+// InOld reports whether w is a pointer into the old region.
+func (h *Heap) InOld(w code.Word) bool {
+	off := int(w) - code.HeapBase
+	return off >= 2*h.young.youngWords && off < len(h.mem)
+}
+
+// youngActiveIdx returns the active half's index (0 or 1).
+func (h *Heap) youngActiveIdx() int {
+	if h.young.youngOff == 0 {
+		return 0
+	}
+	return 1
+}
+
+// youngAllocFast bump-allocates total words in the active young half,
+// or reports false when the half cannot take the request.
+func (h *Heap) youngAllocFast(total int) (code.Word, bool) {
+	n := &h.young
+	if n.youngAlloc+total > n.youngOff+n.youngWords {
+		return 0, false
+	}
+	base := n.youngAlloc
+	n.youngAlloc += total
+	n.ages[h.youngActiveIdx()][base-n.youngOff] = 0
+	h.spansValid = false
+	h.Stats.Allocations++
+	h.Stats.WordsAllocated += int64(total)
+	return code.EncodePtr(h.Repr, code.HeapBase+base), true
+}
+
+// beginYoungGC arms survivor evacuation into the inactive half.
+func (h *Heap) beginYoungGC(minor bool) {
+	n := &h.young
+	n.minorGC = minor
+	if n.youngOff == 0 {
+		n.youngEvac = n.youngWords
+	} else {
+		n.youngEvac = 0
+	}
+}
+
+// endYoungGC flips the halves: survivors become the new active half's
+// prefix and the forwarding table is reset for the next cycle.
+func (h *Heap) endYoungGC() {
+	n := &h.young
+	if n.youngOff == 0 {
+		n.youngOff = n.youngWords
+	} else {
+		n.youngOff = 0
+	}
+	n.youngAlloc = n.youngEvac
+	n.minorGC = false
+	for i := range n.youngFwd {
+		n.youngFwd[i] = -1
+	}
+}
+
+// BeginMinorGC starts a minor collection: only the nursery is collected;
+// old objects are left untouched by VisitObject and the remembered set
+// supplies the interior old→young edges.
+func (h *Heap) BeginMinorGC() {
+	if !h.young.enabled {
+		panic("BeginMinorGC: no nursery configured")
+	}
+	if h.inGC {
+		panic("BeginMinorGC: collection already in progress")
+	}
+	h.inGC = true
+	h.Stats.Collections++
+	h.Stats.MinorCollections++
+	h.spans = h.spans[:0]
+	h.spansValid = false
+	h.beginYoungGC(true)
+}
+
+// EndMinorGC completes a minor collection. The old region is untouched;
+// only the young halves flip.
+func (h *Heap) EndMinorGC() {
+	if !h.inGC || !h.young.minorGC {
+		panic("EndMinorGC: no minor collection in progress")
+	}
+	h.inGC = false
+	h.endYoungGC()
+}
+
+// youngVisit is VisitObject for nursery pointers, during both minor and
+// major collections: forward if already evacuated, else promote by age
+// (falling back to young survival when the old region is full) or copy to
+// the inactive half.
+func (h *Heap) youngVisit(ptr code.Word, base, n int) (code.Word, bool) {
+	y := &h.young
+	if !h.inGC {
+		panic("heap: young object visited outside a collection")
+	}
+	// A pointer into the to-half's filled prefix is an already-evacuated
+	// object: remembered-set entries recorded during this collection (a
+	// promoted parent whose child was just copied) hold post-evacuation
+	// addresses, and re-tracing them must be the identity, exactly like a
+	// forwarding hit.
+	if toBase := (1 - h.youngActiveIdx()) * y.youngWords; base >= toBase && base+n <= y.youngEvac {
+		return ptr, false
+	}
+	if base < y.youngOff || base+n > y.youngAlloc {
+		panic(fmt.Sprintf("heap: collector visited young offset %d (size %d) outside the live nursery [%d, %d)",
+			base, n, y.youngOff, y.youngAlloc))
+	}
+	rel := base - y.youngOff
+	if fwd := y.youngFwd[rel]; fwd >= 0 {
+		return code.EncodePtr(h.Repr, code.HeapBase+fwd), false
+	}
+	fromIdx := h.youngActiveIdx()
+	age := y.ages[fromIdx][rel]
+	if age < 250 {
+		age++
+	}
+	if age >= y.promoteAfter || y.tenureAll {
+		if nb, ok := h.promoteDest(n); ok {
+			copy(h.mem[nb:nb+n], h.mem[base:base+n])
+			y.youngFwd[rel] = nb
+			h.Stats.WordsCopied += int64(n)
+			h.Stats.PromotedWords += int64(n)
+			return code.EncodePtr(h.Repr, code.HeapBase+nb), true
+		}
+		// No old-space room: survive in young another cycle instead of
+		// failing — the ladder's next full collection or grow makes room.
+	}
+	nb := y.youngEvac
+	y.youngEvac += n
+	copy(h.mem[nb:nb+n], h.mem[base:base+n])
+	y.ages[1-fromIdx][nb-(1-fromIdx)*y.youngWords] = age
+	y.youngFwd[rel] = nb
+	h.Stats.WordsCopied += int64(n)
+	return code.EncodePtr(h.Repr, code.HeapBase+nb), true
+}
+
+// promoteDest allocates n words in the old region for a tenured object, by
+// the discipline's own rules. During a copying major the destination is
+// to-space (alloc already points there); during a minor it is the mutator's
+// from-space bump region. Mark/sweep tries the bump region then the exact
+// free lists, and marks the block when a sweep will follow (majors only).
+// Reports false when the old region cannot take the object.
+func (h *Heap) promoteDest(n int) (int, bool) {
+	var base int
+	if h.kind == MarkSweep {
+		switch {
+		case h.alloc+n <= h.limit:
+			base = h.alloc
+			h.alloc += n
+		case len(h.free[n]) > 0:
+			l := h.free[n]
+			base = l[len(l)-1]
+			h.free[n] = l[:len(l)-1]
+			h.Stats.FreeListHits++
+		default:
+			return 0, false
+		}
+		h.objSize[base] = int32(n)
+		if !h.young.minorGC {
+			h.marks[base] = 1 // keep the promoted block through the sweep
+		}
+		return base, true
+	}
+	if h.alloc+n > h.limit {
+		return 0, false
+	}
+	base = h.alloc
+	h.alloc += n
+	if h.verify && !h.young.minorGC {
+		h.spans = append(h.spans, span{base: base, size: n})
+	}
+	return base, true
+}
+
+// verifyNursery checks the nursery's post-collection invariants: the bump
+// pointer inside the active half and the forwarding table fully reset.
+func (h *Heap) verifyNursery() []error {
+	y := &h.young
+	var errs []error
+	if y.youngAlloc < y.youngOff || y.youngAlloc > y.youngOff+y.youngWords {
+		errs = append(errs, fmt.Errorf("heap verify: nursery bump %d outside active half [%d, %d]",
+			y.youngAlloc, y.youngOff, y.youngOff+y.youngWords))
+	}
+	for i, f := range y.youngFwd {
+		if f >= 0 {
+			errs = append(errs, fmt.Errorf("heap verify: nursery forwarding entry %d not reset (still %d) after collection", i, f))
+			break
+		}
+	}
+	return errs
+}

@@ -36,10 +36,14 @@ func (h *Heap) SetVerify(on bool) { h.verify = on }
 // returns every violation found (nil when the heap is sound). Call it
 // right after a collection, before the mutator allocates again.
 func (h *Heap) VerifyHeap() []error {
-	if h.kind == MarkSweep {
-		return h.verifyMarkSweep()
+	var errs []error
+	if h.young.enabled {
+		errs = h.verifyNursery()
 	}
-	return h.verifyCopying()
+	if h.kind == MarkSweep {
+		return append(errs, h.verifyMarkSweep()...)
+	}
+	return append(errs, h.verifyCopying()...)
 }
 
 func (h *Heap) verifyCopying() []error {
@@ -122,7 +126,7 @@ func (h *Heap) verifyMarkSweep() []error {
 	// Block tiling: every word below the bump pointer is inside exactly one
 	// object or one swept gap.
 	starts := map[int]int{} // object start -> size
-	for base := 0; base < h.alloc; {
+	for base := h.fromOff; base < h.alloc; {
 		if n := int(h.objSize[base]); n > 0 {
 			starts[base] = n
 			base += n
@@ -159,8 +163,8 @@ func (h *Heap) verifyMarkSweep() []error {
 				continue
 			}
 			seen[base] = n
-			if base < 0 || base >= h.alloc {
-				errs = append(errs, fmt.Errorf("heap verify: free-list block %d outside allocated region [0, %d)", base, h.alloc))
+			if base < h.fromOff || base >= h.alloc {
+				errs = append(errs, fmt.Errorf("heap verify: free-list block %d outside allocated region [%d, %d)", base, h.fromOff, h.alloc))
 				continue
 			}
 			if h.objSize[base] != 0 {
@@ -192,6 +196,18 @@ func (h *Heap) gapAt(base int) int {
 func (h *Heap) CheckLive(ptr code.Word, n int) error {
 	base := h.addrIndex(ptr)
 	total := h.objWords(n)
+	if h.young.enabled && base < 2*h.young.youngWords {
+		// A live young object sits in the active half below the bump
+		// pointer. A pointer into the evacuated half is exactly what a
+		// missed write barrier leaves behind — the barrier fuzz relies on
+		// this check firing for it.
+		y := &h.young
+		if base < y.youngOff || base+total > y.youngAlloc {
+			return fmt.Errorf("young pointer to [%d, %d) outside the live nursery [%d, %d)",
+				base, base+total, y.youngOff, y.youngAlloc)
+		}
+		return nil
+	}
 	if h.kind == MarkSweep {
 		if base < 0 || base >= len(h.objSize) {
 			return fmt.Errorf("pointer to offset %d outside the heap", base)

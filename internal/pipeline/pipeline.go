@@ -82,6 +82,17 @@ type Options struct {
 	// oracle when exceeded. Fault-injection knobs for testing.
 	WorkerDelay time.Duration
 	Watchdog    time.Duration
+	// NurseryWords > 0 enables a generational bump-allocated nursery of
+	// NurseryWords words per young half in front of the old region(s).
+	// Minor collections evacuate only the nursery, re-tracing stacks and
+	// globals as usual (the paper's frame routines make that free) and
+	// consulting the old→young remembered set fed by the VM's write
+	// barrier. Tag-free strategies only — young objects are headerless and
+	// evacuation is type-directed.
+	NurseryWords int
+	// PromoteAfter is the survival count at which nursery objects tenure
+	// into the old region (0 = the default of 2).
+	PromoteAfter int
 }
 
 // faultPlan assembles the fault-injection plan implied by the options, or
@@ -203,16 +214,28 @@ func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result,
 	}
 	// Appel and tagged modes must zero-fill frames; liveness-disabled maps
 	// must also only see initialized slots.
-	var m *vm.VM
-	var err error
+	var h *heap.Heap
 	if opts.MarkSweep {
 		if opts.Strategy == gc.StratTagged {
 			return nil, fmt.Errorf("mark/sweep is implemented for the tag-free strategies")
 		}
-		m, err = vm.NewWith(prog, heap.NewMarkSweep(prog.Repr, semi), opts.Strategy)
+		h = heap.NewMarkSweep(prog.Repr, semi)
 	} else {
-		m, err = vm.New(prog, semi, opts.Strategy)
+		h = heap.New(prog.Repr, semi)
 	}
+	if opts.NurseryWords > 0 {
+		if opts.Strategy == gc.StratTagged {
+			return nil, fmt.Errorf("the generational nursery requires a tag-free strategy")
+		}
+		promote := opts.PromoteAfter
+		if promote == 0 {
+			promote = 2
+		}
+		// Must run before the VM's first allocation: the nursery re-lays
+		// the heap out with the young halves in front of the old region.
+		h.EnableNursery(opts.NurseryWords, promote)
+	}
+	m, err := vm.NewWith(prog, h, opts.Strategy)
 	if err != nil {
 		return nil, err
 	}

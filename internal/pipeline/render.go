@@ -130,10 +130,25 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 		fmt.Fprintf(&b, "total pause: %s\n", time.Duration(t.TotalPauseNS()))
 	}
 
-	header := []string{"seq", "pause", "par", "before", "live", "surv%", "words", "frames", "slots", "flhit%"}
-	if opt.OmitTiming {
-		header = header[:1:1]
-		header = append(header, "par", "before", "live", "surv%", "words", "frames", "slots", "flhit%")
+	// Generational columns appear only when some record carries a kind, so
+	// non-nursery output (and its goldens) is unchanged.
+	gen := false
+	for _, r := range t.Records {
+		if r.Kind != "" {
+			gen = true
+			break
+		}
+	}
+	header := []string{"seq"}
+	if gen {
+		header = append(header, "kind")
+	}
+	if !opt.OmitTiming {
+		header = append(header, "pause")
+	}
+	header = append(header, "par", "before", "live", "surv%", "words", "frames", "slots", "flhit%")
+	if gen {
+		header = append(header, "prom", "rem", "barrier")
 	}
 	rows := make([][]string, 0, len(t.Records))
 	for _, r := range t.Records {
@@ -142,6 +157,13 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 			hit = fmt.Sprintf("%.1f", r.FreeListHitPct)
 		}
 		row := []string{fmt.Sprint(r.Seq)}
+		if gen {
+			kind := r.Kind
+			if kind == "" {
+				kind = "-"
+			}
+			row = append(row, kind)
+		}
 		if !opt.OmitTiming {
 			row = append(row, time.Duration(r.PauseNS).String())
 		}
@@ -155,6 +177,13 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 			fmt.Sprint(r.SlotsTraced),
 			hit,
 		)
+		if gen {
+			row = append(row,
+				fmt.Sprint(r.PromotedWords),
+				fmt.Sprint(r.Remembered),
+				fmt.Sprint(r.BarrierHits),
+			)
+		}
 		rows = append(rows, row)
 	}
 	widths := make([]int, len(header))

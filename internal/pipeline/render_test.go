@@ -165,6 +165,50 @@ fast path: plan-hits=179 plan-misses=6 site-cache-hits=179 kernel-words=80
 	}
 }
 
+// TestTelemetryTableGoldenGenerational pins the generational columns: with
+// a nursery every collection carries a kind, and the table grows kind,
+// prom, rem and barrier columns. The program promotes its long-lived ref
+// cell (seq 1), then repoints it at a fresh young list — one barrier hit
+// and one remembered entry (seq 4) — whose words tenure at seq 5.
+func TestTelemetryTableGoldenGenerational(t *testing.T) {
+	src := `
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let rec churn n = if n = 0 then 0 else (let _ = upto 20 in churn (n - 1))
+let main () =
+  let keep = ref [0] in
+  let _ = churn 5 in
+  let _ = (keep := upto 10) in
+  let _ = churn 5 in
+  sum (!keep)
+`
+	res, err := Run(src, Options{Strategy: gc.StratCompiled, HeapWords: 512, NurseryWords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 55 {
+		t.Fatalf("value = %d, want 55", res.Value)
+	}
+	got := TelemetryTable(res.Telemetry, TelemetryOptions{OmitTiming: true})
+	want := `gc telemetry: strategy=compiled kind=copying collections=9
+seq   kind  par  before  live  surv%  words  frames  slots  flhit%  prom  rem  barrier
+  0  minor    1      63    23   36.5     23      13      2       -     0    0        0
+  1  minor    1      63    23   36.5     23      14      2       -     3    0        0
+  2  minor    1      67    27   40.3     24      13      2       -     0    0        0
+  3  minor    1      67    27   40.3     24      14      2       -     0    0        0
+  4  minor    1      67    27   40.3     24      20      3       -     0    1        1
+  5  minor    1      67    27   40.3     24      21      3       -    20    0        0
+  6  minor    1      87    47   54.0     24      12      2       -     0    0        0
+  7  minor    1      87    47   54.0     24      13      2       -     0    0        0
+  8  minor    1      87    47   54.0     24      14      2       -     0    0        0
+survivor histogram: 30-40%=2 40-50%=4 50-60%=3
+fast path: plan-hits=128 plan-misses=6 site-cache-hits=128 kernel-words=168
+`
+	if got != want {
+		t.Errorf("table mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 func TestTelemetryJSONGolden(t *testing.T) {
 	src := strings.Replace(telemetrySrc, "loop 24 0", "loop 6 0", 1)
 	res, err := Run(src, Options{Strategy: gc.StratCompiled, HeapWords: 256})

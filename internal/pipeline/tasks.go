@@ -66,15 +66,26 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 	if semi == 0 {
 		semi = 1 << 16
 	}
-	var group *tasking.Group
+	var h *heap.Heap
 	if opts.MarkSweep {
 		if opts.Strategy == gc.StratTagged {
 			return nil, fmt.Errorf("mark/sweep is implemented for the tag-free strategies")
 		}
-		group, err = tasking.NewGroupWith(prog, heap.NewMarkSweep(prog.Repr, semi), opts.Strategy, entries)
+		h = heap.NewMarkSweep(prog.Repr, semi)
 	} else {
-		group, err = tasking.NewGroup(prog, semi, opts.Strategy, entries)
+		h = heap.New(prog.Repr, semi)
 	}
+	if opts.NurseryWords > 0 {
+		if opts.Strategy == gc.StratTagged {
+			return nil, fmt.Errorf("the generational nursery requires a tag-free strategy")
+		}
+		promote := opts.PromoteAfter
+		if promote == 0 {
+			promote = 2
+		}
+		h.EnableNursery(opts.NurseryWords, promote)
+	}
+	group, err := tasking.NewGroupWith(prog, h, opts.Strategy, entries)
 	if err != nil {
 		return nil, err
 	}

@@ -270,7 +270,7 @@ func (g *Group) RunInit() error {
 			// climb the rest of the ladder. Init failure is group-fatal —
 			// no task can run without the globals.
 			g.collect([]*Task{t})
-			if !g.rescueAlloc(t.pendingAlloc) {
+			if !g.rescueAlloc([]*Task{t}, t.pendingAlloc) {
 				return t.errf(g, "%v", g.oomCause(t.pendingAlloc))
 			}
 			t.Status = Running
@@ -399,21 +399,47 @@ func (g *Group) collectSuspended() {
 	g.collect(live)
 	g.Stats.SuspendLatency = append(g.Stats.SuspendLatency, g.latency)
 	g.latency = 0
+	// Rescue before resuming anyone: rescueAlloc's generational rungs run
+	// further collections over these same stacks, and a task's root
+	// treatment (AtCall) is read from its still-suspended status.
 	for _, t := range live {
-		if t.Status == SuspendedAlloc && !g.rescueAlloc(t.pendingAlloc) {
+		if t.Status == SuspendedAlloc && !g.rescueAlloc(live, t.pendingAlloc) {
 			g.faultTask(t, FaultOOM, t.pendingAlloc, g.oomCause(t.pendingAlloc))
-			continue
 		}
-		t.Status = Running
+	}
+	for _, t := range live {
+		if t.Status != Faulted {
+			t.Status = Running
+		}
 	}
 }
 
 // rescueAlloc climbs the post-collection rungs of the ladder for a pending
 // allocation of n fields: if the collection freed enough, done; otherwise
-// grow the heap by GrowFactor per attempt up to the MaxHeapWords ceiling.
-func (g *Group) rescueAlloc(n int) bool {
+// escalate through the generational rungs (full collection, then a
+// tenure-all collection that empties the nursery) and finally grow the
+// heap by GrowFactor per attempt up to the MaxHeapWords ceiling. live is
+// the suspended-task set whose stacks root the escalation collections.
+func (g *Group) rescueAlloc(live []*Task, n int) bool {
 	if !g.Heap.Need(n) {
 		return true
+	}
+	if g.Heap.NurseryEnabled() {
+		// The triggering collection may have been minor; a full collection
+		// reclaims old-region garbage the minor cycle never looked at.
+		if g.Col.LastCollectionMinor() {
+			g.fullCollect(live)
+			if !g.Heap.Need(n) {
+				return true
+			}
+		}
+		// Survivors below the promotion age can pin the nursery across any
+		// number of full collections; tenure them all so an oversized
+		// request can be judged against the real old-region headroom.
+		g.tenureCollect(live)
+		if !g.Heap.Need(n) {
+			return true
+		}
 	}
 	for g.GrowFactor > 1 {
 		cur := g.Heap.SemiWords()
@@ -433,6 +459,14 @@ func (g *Group) rescueAlloc(n int) bool {
 		g.Col.Telem.Resilience.HeapGrowths++
 		if !g.Heap.Need(n) {
 			return true
+		}
+		if g.Heap.NurseryEnabled() {
+			// Growth extends only the old region; re-tenure so the enlarged
+			// region can absorb whatever still pins the nursery.
+			g.tenureCollect(live)
+			if !g.Heap.Need(n) {
+				return true
+			}
 		}
 	}
 	return false
@@ -494,6 +528,21 @@ func (g *Group) collect(live []*Task) {
 	g.rgc = 0
 }
 
+// fullCollect forces a major collection (a rescue-ladder rung; the normal
+// path goes through collect, which lets the collector pick minor/major).
+func (g *Group) fullCollect(live []*Task) {
+	g.Col.CollectFull(g.rootSet(live), g.Globals)
+	g.Stats.Collections++
+}
+
+// tenureCollect runs a full collection with every nursery survivor
+// promoted regardless of age, emptying the young generation.
+func (g *Group) tenureCollect(live []*Task) {
+	g.Heap.SetTenureAll(true)
+	g.fullCollect(live)
+	g.Heap.SetTenureAll(false)
+}
+
 // ---------------------------------------------------------------------------
 // Per-task execution.
 // ---------------------------------------------------------------------------
@@ -547,6 +596,7 @@ func (g *Group) step(t *Task, quantum int) error {
 	prog := g.Prog
 	c := prog.Code
 	repr := prog.Repr
+	nursery := g.Heap.NurseryEnabled()
 
 	for i := 0; i < quantum; i++ {
 		if t.Status != Running {
@@ -684,7 +734,17 @@ func (g *Group) step(t *Task, quantum int) error {
 			t.pc = pc + 4
 
 		case code.OpStFld:
-			g.Heap.SetField(t.atom(g, c[pc+1]), int(c[pc+2]), t.atom(g, c[pc+3]))
+			obj := t.atom(g, c[pc+1])
+			v := t.atom(g, c[pc+3])
+			g.Heap.SetField(obj, int(c[pc+2]), v)
+			if nursery {
+				// Old→young write barrier: the compiler's store descriptor
+				// tells us the stored value's type, so only stores that can
+				// hold a pointer ever consult the remembered set.
+				if d := g.Prog.StoreDescs[pc]; d != nil && g.Heap.InOld(obj) && g.Heap.InYoung(v) {
+					g.Col.Remember(obj, int(c[pc+2]), d)
+				}
+			}
 			t.pc = pc + 4
 
 		case code.OpCall, code.OpCallC:
@@ -848,6 +908,11 @@ func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
 		return nil
 	}
 	t.allocRetry = false
+	if g.Heap.NurseryEnabled() && !g.Heap.InYoung(ptr) {
+		// Objects too large for the nursery are born old; their stores
+		// never ran the write barrier, so force the next cycle major.
+		g.Col.NoteTenuredAlloc()
+	}
 	switch op {
 	case code.OpMkRef:
 		g.Heap.SetField(ptr, 0, t.atom(g, c[pc+3]))

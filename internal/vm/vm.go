@@ -176,14 +176,56 @@ func (vm *VM) atom(fp int, w code.Word) code.Word {
 	}
 }
 
-// collect runs a garbage collection at the current safe point.
+// collect runs a garbage collection at the current safe point (a minor one
+// when the heap has a nursery and the remembered set is trustworthy).
 func (vm *VM) collect(pc, fp int) {
-	vm.Col.Collect([]gc.TaskRoots{{
+	vm.Col.Collect(vm.roots(pc, fp), vm.Globals)
+}
+
+// fullCollect forces a full (major) collection regardless of nursery state.
+func (vm *VM) fullCollect(pc, fp int) {
+	vm.Col.CollectFull(vm.roots(pc, fp), vm.Globals)
+}
+
+// tenureCollect runs a full collection that promotes every nursery
+// survivor into the old region regardless of age — the ladder's way of
+// emptying the young space, which ordinary collections cannot guarantee
+// (survivors below the promotion age stay young forever otherwise).
+func (vm *VM) tenureCollect(pc, fp int) {
+	vm.Heap.SetTenureAll(true)
+	vm.fullCollect(pc, fp)
+	vm.Heap.SetTenureAll(false)
+}
+
+func (vm *VM) roots(pc, fp int) []gc.TaskRoots {
+	return []gc.TaskRoots{{
 		Stack: vm.stack,
 		FP:    fp,
 		SP:    vm.sp,
 		PC:    pc,
-	}}, vm.Globals)
+	}}
+}
+
+// barrier is the generational write barrier, called after every OpStFld.
+// Stack slots and globals need no barrier — they are re-traced as roots on
+// every collection; only interior heap stores can create old→young edges
+// the minor trace would miss. The compiler records the stored value's
+// static type per store site (Program.StoreDescs), omitting types that
+// cannot hold pointers, so a missing descriptor means the dynamic range
+// check would be matching an integer that merely aliases a young address.
+func (vm *VM) barrier(pc int, obj code.Word, field int, v code.Word) {
+	if d := vm.Prog.StoreDescs[pc]; d != nil && vm.Heap.InOld(obj) && vm.Heap.InYoung(v) {
+		vm.Col.Remember(obj, field, d)
+	}
+}
+
+// notePreTenure reports an allocation the nursery could not take (oversize
+// for a young half, so placed directly in the old region): its initializing
+// stores bypass the barrier, forcing the next collection to be a major.
+func (vm *VM) notePreTenure(ptr code.Word) {
+	if !vm.Heap.InYoung(ptr) {
+		vm.Col.NoteTenuredAlloc()
+	}
 }
 
 // ensureHeap guarantees room for an n-field object, climbing the recovery
@@ -211,6 +253,22 @@ func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
 	if !vm.Heap.Need(n) {
 		return nil
 	}
+	// Generational escalation: a minor collection may not free enough young
+	// space (survivors below the promotion age stay young), so escalate to
+	// a full collection, then to a tenure-everything one that drains the
+	// nursery into the old region, before concluding the heap is full.
+	if vm.Heap.NurseryEnabled() {
+		if vm.Col.LastCollectionMinor() {
+			vm.fullCollect(pc, fp)
+			if !vm.Heap.Need(n) {
+				return nil
+			}
+		}
+		vm.tenureCollect(pc, fp)
+		if !vm.Heap.Need(n) {
+			return nil
+		}
+	}
 	for vm.GrowFactor > 1 {
 		cur := vm.Heap.SemiWords()
 		next := int(float64(cur) * vm.GrowFactor)
@@ -229,6 +287,15 @@ func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
 		vm.Col.Telem.Resilience.HeapGrowths++
 		if !vm.Heap.Need(n) {
 			return nil
+		}
+		if vm.Heap.NurseryEnabled() {
+			// Grow extends only the old region; tenure-all moves the young
+			// survivors into the new space so a young-sized request that was
+			// blocked on nursery occupancy can finally succeed.
+			vm.tenureCollect(pc, fp)
+			if !vm.Heap.Need(n) {
+				return nil
+			}
 		}
 	}
 	return vm.errf(pc, fidx, "heap exhausted (%d fields requested, %d words live)",
@@ -251,6 +318,7 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 	prog := vm.Prog
 	c := prog.Code
 	repr := prog.Repr
+	nursery := vm.Heap.NurseryEnabled()
 	steps := int64(0)
 
 	for {
@@ -356,7 +424,11 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 
 		case code.OpStFld:
 			obj := vm.atom(fp, c[pc+1])
-			vm.Heap.SetField(obj, int(c[pc+2]), vm.atom(fp, c[pc+3]))
+			v := vm.atom(fp, c[pc+3])
+			vm.Heap.SetField(obj, int(c[pc+2]), v)
+			if nursery {
+				vm.barrier(pc, obj, int(c[pc+2]), v)
+			}
 			pc += 4
 
 		case code.OpCall:
@@ -400,6 +472,9 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 			}
 			ptr := vm.Heap.MustAlloc(1)
 			vm.Heap.SetField(ptr, 0, vm.atom(fp, c[pc+3]))
+			if nursery {
+				vm.notePreTenure(ptr)
+			}
 			vm.stack[fp+2+int(c[pc+1])] = ptr
 			vm.Stats.Allocations++
 			pc += 4
@@ -412,6 +487,9 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 			ptr := vm.Heap.MustAlloc(n)
 			for i := 0; i < n; i++ {
 				vm.Heap.SetField(ptr, i, vm.atom(fp, c[pc+4+i]))
+			}
+			if nursery {
+				vm.notePreTenure(ptr)
 			}
 			vm.stack[fp+2+int(c[pc+1])] = ptr
 			vm.Stats.Allocations++
@@ -436,6 +514,9 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 			for i := 0; i < n; i++ {
 				vm.Heap.SetField(ptr, off+i, vm.atom(fp, c[pc+5+i]))
 			}
+			if nursery {
+				vm.notePreTenure(ptr)
+			}
 			vm.stack[fp+2+int(c[pc+1])] = ptr
 			vm.Stats.Allocations++
 			pc += 5 + n
@@ -459,6 +540,9 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 			}
 			if self >= 0 {
 				vm.Heap.SetField(ptr, 1+nrep+self, ptr)
+			}
+			if nursery {
+				vm.notePreTenure(ptr)
 			}
 			vm.stack[fp+2+int(c[pc+1])] = ptr
 			vm.Stats.Allocations++
