@@ -8,21 +8,29 @@
 # tier2-nursery is the generational stress pass: the nursery differential
 # suite and write-barrier fuzz under the race detector, plus the nursery
 # telemetry corpus with torture collection and the heap verifier on.
+# tier2-tlab is the allocation-buffer pass: the TLAB unit and interleaving
+# fuzz suites plus the cross-strategy allocation-equivalence differential
+# suite under the race detector, and the telemetry corpus with buffers,
+# torture collection and the heap verifier on.
 
-.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery bench bench-json fuzz
+.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab bench bench-json fuzz
 
 tier1:
 	go build ./...
 	go vet ./...
 	go test ./...
 
-tier2: tier1 tier2-nursery
+tier2: tier1 tier2-nursery tier2-tlab
 	go test -race ./...
 	go test -run TestDifferential -count=1 ./internal/pipeline/
 
 tier2-nursery:
 	go test -race -run 'TestDifferentialNursery|TestNursery' -count=1 -timeout 30m ./internal/pipeline/
 	go run -race ./cmd/tfbench -gc-nursery 256 -gc-torture -verify-heap telemetry >/dev/null
+
+tier2-tlab:
+	go test -race -run 'TestTLAB|TestDifferentialTLAB' -count=1 -timeout 30m ./internal/heap/ ./internal/pipeline/
+	go run -race ./cmd/tfbench -tlab 64 -gc-torture -verify-heap telemetry >/dev/null
 
 tier2-torture: tier1
 	GC_TORTURE_FULL=1 go test -race -run 'TestTorture|TestRecoveryLadder|TestWatchdog' -count=1 -timeout 30m ./internal/pipeline/
@@ -38,7 +46,7 @@ bench:
 # fixed repeats so snapshots are comparable across the repo's history.
 # Bump the PR number when committing a new trajectory point.
 bench-json:
-	go run ./cmd/tfbench -repeats 3 -bench-json BENCH_PR4.json
+	go run ./cmd/tfbench -repeats 3 -bench-json BENCH_PR5.json
 
 # Budgeted fuzzing of the mark/sweep free-list invariants.
 fuzz:

@@ -1,4 +1,4 @@
-// Command tfbench regenerates the experiment tables (E1–E11; see
+// Command tfbench regenerates the experiment tables (E1–E12; see
 // EXPERIMENTS.md). With arguments, it runs only the named experiments.
 //
 //	tfbench              # all experiments
@@ -29,6 +29,7 @@ func main() {
 	verifyHeap := flag.Bool("verify-heap", false, "verify heap invariants after every collection (telemetry report)")
 	torture := flag.Bool("gc-torture", false, "collect before every allocation (telemetry report)")
 	nursery := flag.Int("gc-nursery", 0, "generational nursery size in words per young half (telemetry report)")
+	tlab := flag.Int("tlab", 0, "per-task allocation buffer chunk in words (telemetry report)")
 	benchJSON := flag.String("bench-json", "", "write the benchmark snapshot (schema tagfree-bench/v1) to this file and exit; \"-\" for stdout")
 	flag.Parse()
 
@@ -49,8 +50,9 @@ func main() {
 		"e9":  func() *experiments.Table { return experiments.E9MarkSweep(*repeats) },
 		"e10": experiments.E10FastPath,
 		"e11": experiments.E11Generational,
+		"e12": experiments.E12AllocContention,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -58,7 +60,7 @@ func main() {
 	}
 	for _, name := range selected {
 		if strings.EqualFold(name, "telemetry") {
-			telemetryReport(*par, *asJSON, *verifyHeap, *torture, *nursery)
+			telemetryReport(*par, *asJSON, *verifyHeap, *torture, *nursery, *tlab)
 			continue
 		}
 		r, ok := runners[strings.ToLower(name)]
@@ -98,8 +100,10 @@ func writeBenchSnapshot(path string, repeats int) {
 // telemetry — the table form for reading, the JSON form for tooling.
 // verify and torture thread the robustness knobs through, turning the
 // report into a GC stress run over the whole corpus; nursery > 0 runs it
-// generationally (tier2-nursery combines all three under -race).
-func telemetryReport(par int, asJSON, verify, torture bool, nursery int) {
+// generationally (tier2-nursery combines all three under -race); tlab > 0
+// gives each task a private allocation buffer of that many words and grows
+// the refill/fast/shared/waste columns plus the cumulative tlab line.
+func telemetryReport(par int, asJSON, verify, torture bool, nursery, tlab int) {
 	for _, w := range workloads.Tasking {
 		for _, ms := range []bool{false, true} {
 			res, err := pipeline.RunTasks(w.Source, w.Entries, pipeline.Options{
@@ -110,6 +114,7 @@ func telemetryReport(par int, asJSON, verify, torture bool, nursery int) {
 				VerifyHeap:   verify,
 				Torture:      torture,
 				NurseryWords: nursery,
+				TLABWords:    tlab,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "telemetry %s: %v\n", w.Name, err)

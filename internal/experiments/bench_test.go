@@ -93,6 +93,25 @@ func TestBenchSnapshotSmoke(t *testing.T) {
 	}
 	snap.Runs = append(snap.Runs, m)
 
+	// The allocation-contention pair: the baseline acquires the shared
+	// heap at least once per allocation; buffers must collapse the ratio.
+	cw, ok := workloads.TaskByName("taskchurn")
+	if !ok {
+		t.Fatal("taskchurn workload missing")
+	}
+	base := allocContentionRun(cw, 0, 1)
+	buf := allocContentionRun(cw, benchTLABWords, 1)
+	if base.AcqsPerAlloc < 1 {
+		t.Fatalf("baseline acqs/alloc %.3f below 1", base.AcqsPerAlloc)
+	}
+	if buf.AcqsPerAlloc*4 >= 1 || buf.TLABRefills == 0 {
+		t.Fatalf("buffers did not amortize acquisitions: %+v", buf)
+	}
+	if buf.Allocations != base.Allocations {
+		t.Fatalf("buffers changed the allocation count: %d vs %d", buf.Allocations, base.Allocations)
+	}
+	snap.Runs = append(snap.Runs, base, buf)
+
 	js, err := json.Marshal(snap)
 	if err != nil {
 		t.Fatal(err)

@@ -512,6 +512,7 @@ func All(repeats int) []*Table {
 		E9MarkSweep(repeats),
 		E10FastPath(),
 		E11Generational(),
+		E12AllocContention(),
 	}
 }
 
@@ -567,6 +568,64 @@ func E9MarkSweep(repeats int) *Table {
 		"identical frame maps drive both disciplines; mark/sweep marks in place (no copy bandwidth) but sweeps the whole space and cannot compact",
 		"mark/sweep collects less often at equal usable words: copying reserves half the space as to-space",
 		"developing this mode exposed a real collector soundness bug (recursive polymorphic calls passed no type arguments) that copying masked — see DESIGN.md §8",
+	)
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// E12 — allocation contention.
+// ---------------------------------------------------------------------------
+
+// E12AllocContention measures shared-heap pressure on the allocation path
+// as tasks churn, with and without per-task allocation buffers. Every
+// allocation without a buffer acquires the shared heap; with -tlab each
+// task bump-allocates privately and touches the shared heap only to carve
+// a chunk, so acquisitions fall to O(allocs/chunk) plus the slow path.
+func E12AllocContention() *Table {
+	t := &Table{
+		ID:    "E12",
+		Title: "per-task allocation buffers: shared-heap acquisitions per allocation",
+		Claim: "a private bump buffer per task turns the shared allocation path into an amortized O(1/chunk) refill protocol without changing a single computed value (the differential suite's bit-identical live heaps)",
+		Header: []string{"workload", "par", "tlab", "allocs", "shared acqs", "acqs/alloc",
+			"refills", "fast allocs", "waste words", "collections"},
+	}
+	for _, name := range []string{"taskchurn", "tasktree"} {
+		w, ok := workloads.TaskByName(name)
+		if !ok {
+			panic("E12: unknown workload " + name)
+		}
+		for _, par := range []int{1, 4} {
+			for _, tlab := range []int{0, 64} {
+				res, err := pipeline.RunTasks(w.Source, w.Entries, pipeline.Options{
+					Strategy:    gc.StratCompiled,
+					HeapWords:   w.HeapWords,
+					Parallelism: par,
+					TLABWords:   tlab,
+				})
+				if err != nil {
+					panic(err)
+				}
+				hs := res.Heap
+				t.Rows = append(t.Rows, []string{
+					w.Name,
+					fmt.Sprint(par),
+					fmt.Sprint(tlab),
+					fmt.Sprint(hs.Allocations),
+					fmt.Sprint(hs.SharedAllocs),
+					fmt.Sprintf("%.3f", float64(hs.SharedAllocs)/float64(hs.Allocations)),
+					fmt.Sprint(hs.TLABRefills),
+					fmt.Sprint(hs.TLABAllocs),
+					fmt.Sprint(hs.TLABWasteWords),
+					fmt.Sprint(res.Stats.Collections),
+				})
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"shared acqs counts every shared-heap allocation entry: direct Allocs plus TLAB chunk carves (heap.Stats.SharedAllocs)",
+		"tasks are scheduled round-robin on one OS thread, so acqs/alloc measures protocol pressure, not measured lock wait — the container is single-core (see ROADMAP); -par only parallelizes collection scans",
+		"waste words are buffer tails retired unreachable by the heap frontier; on mark/sweep they land on the exact-size free list instead (heap/tlab.go)",
+		"tlab=0 rows are the unchanged baseline allocation path, pinned bit-identical by the differential goldens",
 	)
 	return t
 }

@@ -119,6 +119,11 @@ type Collector struct {
 	// Faults, when non-nil, injects allocation failures, forced
 	// collections, worker stalls and watchdog aborts (see faultinject.go).
 	Faults *FaultPlan
+	// PreCollect, when non-nil, runs at the top of every collection before
+	// the heap snapshot and BeginGC. The tasking runtime uses it to retire
+	// all live TLABs, so the collector (and any harness calling Collect
+	// directly) always sees a fully tiled heap.
+	PreCollect func()
 	// Verify runs the post-collection heap verifier after every collection
 	// (see verify.go); violations panic with a *VerifyError.
 	Verify bool
@@ -332,6 +337,9 @@ func (c *Collector) shouldMinor() bool {
 // old→young edges the trace observes, discharging any force-major
 // condition.
 func (c *Collector) CollectFull(tasks []TaskRoots, globals []code.Word) {
+	if c.PreCollect != nil {
+		c.PreCollect()
+	}
 	start := time.Now()
 	c.Stats.Collections++
 	c.lastMinor = false
@@ -392,6 +400,9 @@ func (c *Collector) CollectFull(tasks []TaskRoots, globals []code.Word) {
 // pause is bounded by the nursery size, so there is nothing worth fanning
 // workers out over.
 func (c *Collector) collectMinor(tasks []TaskRoots, globals []code.Word) {
+	if c.PreCollect != nil {
+		c.PreCollect()
+	}
 	start := time.Now()
 	c.Stats.Collections++
 	c.lastMinor = true

@@ -40,6 +40,10 @@ type FaultPlan struct {
 	// Watchdog bounds the parallel scan phase: when it expires, workers
 	// are aborted and the collection falls back to the sequential path.
 	Watchdog time.Duration
+	// RefillOnly restricts the failure knobs above to TLAB refill carves:
+	// ordinary allocations neither fail nor consume a counter, so -fail-alloc
+	// schedules target the refill path specifically (-fail-refills).
+	RefillOnly bool
 
 	allocs  atomic.Int64
 	rngOnce sync.Once
@@ -55,7 +59,16 @@ type FaultPlan struct {
 // lazily seeded PRNG is initialized exactly once and drawn under a lock.
 // (Determinism holds per caller-ordering — concurrent mutators interleave
 // draws in scheduling order, single-threaded runs replay exactly.)
-func (p *FaultPlan) FailAlloc() bool {
+func (p *FaultPlan) FailAlloc() bool { return p.FailAllocAt(false) }
+
+// FailAllocAt is FailAlloc with the attempt's refill-ness: refill is true
+// when the allocation is about to carve a fresh TLAB chunk. A RefillOnly
+// plan ignores non-refill attempts entirely — no failure, no counter
+// consumed — so FailNth/FailEvery schedules count refills alone.
+func (p *FaultPlan) FailAllocAt(refill bool) bool {
+	if p.RefillOnly && !refill {
+		return false
+	}
 	n := p.allocs.Add(1)
 	if p.FailNth > 0 && n == p.FailNth {
 		return true

@@ -69,8 +69,25 @@ type CollectionRecord struct {
 	PromotedWords int64 `json:"promoted_words,omitempty"`
 	Remembered    int   `json:"remembered,omitempty"`
 	BarrierHits   int64 `json:"barrier_hits,omitempty"`
+	// TLAB carries the allocation-buffer activity since the previous
+	// collection; nil unless the heap runs TLABs (so non-TLAB runs keep
+	// their exact prior JSON, like Kind for the nursery).
+	TLAB *TLABRecord `json:"tlab,omitempty"`
 	// Tasks breaks the scan down per task stack.
 	Tasks []TaskScan `json:"tasks,omitempty"`
+}
+
+// TLABRecord is the allocation-buffer activity in one inter-collection
+// interval. SharedAllocs counts shared-heap acquisitions (slow-path Allocs
+// plus refill carves) — divided by FastAllocs it shows the amortized
+// O(1/chunk) contention the buffers buy.
+type TLABRecord struct {
+	Refills       int64 `json:"refills"`
+	RefillWords   int64 `json:"refill_words"`
+	FastAllocs    int64 `json:"fast_allocs"`
+	SharedAllocs  int64 `json:"shared_allocs"`
+	WasteWords    int64 `json:"waste_words"`
+	ReturnedWords int64 `json:"returned_words"`
 }
 
 // Histogram bucket layouts. Pause buckets are decades of nanoseconds:
@@ -128,12 +145,17 @@ type Telemetry struct {
 	SurvivorHist [SurvivorBuckets]int64 `json:"survivor_hist"`
 	// Resilience counts fault-injection and recovery-ladder outcomes.
 	Resilience ResilienceStats `json:"resilience,omitzero"`
+	// TLABTotal is the whole-run allocation-buffer total, set by
+	// FinalizeTLAB when the run ends. Per-record TLAB deltas stop at the
+	// last collection; this covers the mutator tail after it too.
+	TLABTotal *TLABRecord `json:"tlab_total,omitempty"`
 
-	// Interval baselines for per-collection allocation rates and barrier
-	// activity.
+	// Interval baselines for per-collection allocation rates, barrier
+	// activity and TLAB churn.
 	lastAllocs  int64
 	lastHits    int64
 	lastBarrier int64
+	lastTLAB    TLABRecord
 }
 
 // ResilienceStats counts memory-pressure events and their outcomes: what
@@ -221,9 +243,47 @@ func (t *Telemetry) record(c *Collector, kind string, pauseNS int64, parallel, f
 		rec.Remembered = c.RememberedLen()
 		rec.BarrierHits = barrier
 	}
+	if c.Heap.TLABsEnabled() {
+		// TLAB activity is mutator-side, so the interval is record-to-record
+		// (like FreeListHitPct), not the collection's own heapBefore window —
+		// that window would miss everything between collections, including
+		// the pre-collection retirement wave.
+		hs := c.Heap.Stats
+		cum := TLABRecord{
+			Refills:       hs.TLABRefills,
+			RefillWords:   hs.TLABRefillWords,
+			FastAllocs:    hs.TLABAllocs,
+			SharedAllocs:  hs.SharedAllocs,
+			WasteWords:    hs.TLABWasteWords,
+			ReturnedWords: hs.TLABReturnedWords,
+		}
+		rec.TLAB = &TLABRecord{
+			Refills:       cum.Refills - t.lastTLAB.Refills,
+			RefillWords:   cum.RefillWords - t.lastTLAB.RefillWords,
+			FastAllocs:    cum.FastAllocs - t.lastTLAB.FastAllocs,
+			SharedAllocs:  cum.SharedAllocs - t.lastTLAB.SharedAllocs,
+			WasteWords:    cum.WasteWords - t.lastTLAB.WasteWords,
+			ReturnedWords: cum.ReturnedWords - t.lastTLAB.ReturnedWords,
+		}
+		t.lastTLAB = cum
+	}
 	t.Records = append(t.Records, rec)
 	t.PauseHist[pauseBucket(pauseNS)]++
 	t.SurvivorHist[survivorBucket(survivor)]++
+}
+
+// FinalizeTLAB snapshots the run's cumulative allocation-buffer totals
+// from the heap counters. Call once after the mutator finishes: the last
+// collection's record cannot see the TLAB activity that follows it.
+func (t *Telemetry) FinalizeTLAB(hs heap.Stats) {
+	t.TLABTotal = &TLABRecord{
+		Refills:       hs.TLABRefills,
+		RefillWords:   hs.TLABRefillWords,
+		FastAllocs:    hs.TLABAllocs,
+		SharedAllocs:  hs.SharedAllocs,
+		WasteWords:    hs.TLABWasteWords,
+		ReturnedWords: hs.TLABReturnedWords,
+	}
 }
 
 // LiveWordsPerCollection returns the live-word count after each collection

@@ -56,6 +56,25 @@ type Stats struct {
 	// PromotedWords counts words tenured from the nursery into the old
 	// region across all collections.
 	PromotedWords int64
+	// SharedAllocs counts allocation requests that touched the shared heap
+	// — every Alloc entry plus every TLAB chunk carve. In a real runtime
+	// each is a shared-heap lock acquisition; with TLABs enabled the ratio
+	// SharedAllocs/Allocations is the amortized O(1/chunk) claim (tlab.go).
+	SharedAllocs int64
+	// TLABAllocs counts objects bump-allocated from a task-local buffer
+	// (no shared-heap interaction); TLABAllocWords is their word total.
+	TLABAllocs     int64
+	TLABAllocWords int64
+	// TLABRefills counts chunk carves; TLABRefillWords the words carved.
+	TLABRefills     int64
+	TLABRefillWords int64
+	// TLABWasteWords counts carved words discarded at retirement (the
+	// buffer tail no object fit into); TLABReturnedWords counts tails given
+	// back to the region bump pointer instead. Exact accounting invariant
+	// once every buffer is retired:
+	// TLABRefillWords == TLABAllocWords + TLABWasteWords + TLABReturnedWords.
+	TLABWasteWords    int64
+	TLABReturnedWords int64
 }
 
 // Heap is a garbage-collected heap over a flat word array: a semispace
@@ -101,6 +120,9 @@ type Heap struct {
 	// young is the generational nursery state (see nursery.go); zero value
 	// = no nursery, all fast paths compile to the pre-generational code.
 	young nursery
+	// tlabs is the task-local allocation buffer state (see tlab.go); zero
+	// value = no TLABs, allocation goes through Alloc unchanged.
+	tlabs tlabState
 	Stats Stats
 }
 
@@ -140,6 +162,18 @@ func (h *Heap) MemSnapshot() []code.Word {
 // Used returns the words currently allocated in the active space.
 func (h *Heap) Used() int { return h.alloc - h.fromOff }
 
+// ActiveSnapshot returns a copy of the allocated words of the active
+// space. On a copying heap right after a full collection this is the
+// trace-order-deterministic image of the live heap — the TLAB differential
+// suite bit-compares it across configurations that must converge on the
+// same layout. (Mark/sweep layouts are history-dependent; compare those
+// with gc.LiveSignature instead.)
+func (h *Heap) ActiveSnapshot() []code.Word {
+	out := make([]code.Word, h.alloc-h.fromOff)
+	copy(out, h.mem[h.fromOff:h.alloc])
+	return out
+}
+
 // Need reports whether allocating n object words (plus a header in tagged
 // mode) requires a collection first. With a nursery, a request that fits a
 // young half checks only the nursery bump (a minor collection empties it);
@@ -170,6 +204,7 @@ func (h *Heap) objWords(fields int) int {
 // written.
 func (h *Heap) Alloc(n int) (code.Word, error) {
 	total := h.objWords(n)
+	h.Stats.SharedAllocs++
 	if h.young.enabled && !h.inGC && total <= h.young.youngWords {
 		if ptr, ok := h.youngAllocFast(total); ok {
 			return ptr, nil
@@ -286,6 +321,9 @@ func (h *Heap) ObjLen(ptr code.Word) int {
 func (h *Heap) BeginGC() {
 	if h.inGC {
 		panic("BeginGC: collection already in progress")
+	}
+	if h.tlabs.live > 0 {
+		panic("BeginGC: live TLABs must be retired before a collection")
 	}
 	h.inGC = true
 	h.Stats.Collections++
@@ -437,6 +475,9 @@ func (h *Heap) CopyObject(ptr code.Word, n int) code.Word {
 func (h *Heap) Grow(newWords int) error {
 	if h.inGC {
 		return fmt.Errorf("heap: Grow during a collection")
+	}
+	if h.tlabs.live > 0 {
+		return fmt.Errorf("heap: Grow with %d live TLABs (retire them first)", h.tlabs.live)
 	}
 	if newWords <= h.semi {
 		return fmt.Errorf("heap: Grow(%d) does not exceed the current %d words", newWords, h.semi)

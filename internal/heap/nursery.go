@@ -221,6 +221,9 @@ func (h *Heap) BeginMinorGC() {
 	if h.inGC {
 		panic("BeginMinorGC: collection already in progress")
 	}
+	if h.tlabs.live > 0 {
+		panic("BeginMinorGC: live TLABs must be retired before a collection")
+	}
 	h.inGC = true
 	h.Stats.Collections++
 	h.Stats.MinorCollections++

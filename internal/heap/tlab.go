@@ -1,0 +1,277 @@
+package heap
+
+import (
+	"fmt"
+
+	"tagfree/internal/code"
+)
+
+// Task-local allocation buffers (TLABs). The tasking runtime shares one
+// heap among many tasks, which serializes every allocation through the
+// shared bump pointer — in a real runtime, through the shared-heap lock.
+// A TLAB removes that: each task carves a private chunk from the heap in
+// one shared acquisition and then bump-allocates inside it with a pure
+// bounds-check-and-bump, touching the shared heap again only to refill.
+//
+// Where chunks come from mirrors the allocation path they replace:
+//
+//   - Nursery enabled: chunks are carved from the active young half's bump
+//     region, so TLAB objects are born young, keep their per-object age
+//     slot, and are evacuated by the ordinary minor/major rules. Objects
+//     too large for the nursery bypass TLABs exactly as they bypass the
+//     young fast path (pre-tenured via Alloc).
+//   - Copying, no nursery: chunks come from the from-space bump region.
+//   - Mark/sweep: chunks come from the bump region only — free-list blocks
+//     are exact-size (BiBoP) and cannot host a multi-object buffer. The
+//     free lists still serve the slow path when carving fails.
+//
+// Retirement keeps the heap's tiling invariants intact. A buffer retired
+// with its tail still at the region's bump pointer gives the tail back
+// (TLABReturnedWords); otherwise the tail is dead: accounted as
+// TLABWasteWords and, under mark/sweep, recorded as a swept gap on its
+// exact-size free list so the sweep and the verifier still see a perfect
+// object/gap tiling. Copying and nursery waste needs no bookkeeping — the
+// words are simply never traced and die at the next flip.
+//
+// Every collection requires all TLABs retired first (BeginGC/BeginMinorGC
+// panic otherwise): a copying flip or a nursery evacuation would otherwise
+// leave buffers bumping into dead space.
+
+// TLAB is one task's private bump region. The zero value is an empty,
+// never-carved buffer: AllocTLAB fails on it and RetireTLAB ignores it.
+type TLAB struct {
+	// start, top and limit are absolute mem indexes: objects are bumped at
+	// top within [start, limit); start is kept for capacity accounting.
+	start, top, limit int
+	// young marks a buffer carved from the nursery's active half.
+	young bool
+	// active marks a carved, not-yet-retired buffer.
+	active bool
+}
+
+// Cap returns the buffer's carved capacity in words.
+func (t *TLAB) Cap() int { return t.limit - t.start }
+
+// Remaining returns the unused words left in the buffer.
+func (t *TLAB) Remaining() int { return t.limit - t.top }
+
+// Active reports whether the buffer is carved and not yet retired.
+func (t *TLAB) Active() bool { return t.active }
+
+// tlabState is the heap-side TLAB configuration and bookkeeping.
+type tlabState struct {
+	enabled bool
+	// chunk is the default carve size in words (-tlab N).
+	chunk int
+	// live counts carved, un-retired buffers; collections and grows refuse
+	// to run while any exist.
+	live int
+}
+
+// EnableTLABs switches the heap into TLAB mode with the given default
+// chunk size in words. It only arms the carve API — layout is untouched —
+// so it may be called at any point outside a collection.
+func (h *Heap) EnableTLABs(chunkWords int) {
+	if chunkWords <= 0 {
+		panic("EnableTLABs: chunk size must be positive")
+	}
+	if h.inGC {
+		panic("EnableTLABs: collection in progress")
+	}
+	h.tlabs.enabled = true
+	h.tlabs.chunk = chunkWords
+}
+
+// TLABsEnabled reports whether the heap is in TLAB mode.
+func (h *Heap) TLABsEnabled() bool { return h.tlabs.enabled }
+
+// TLABChunkWords returns the configured default carve size.
+func (h *Heap) TLABChunkWords() int { return h.tlabs.chunk }
+
+// LiveTLABs returns the number of carved, un-retired buffers.
+func (h *Heap) LiveTLABs() int { return h.tlabs.live }
+
+// TLABEligible reports whether an n-field object may be served from a
+// TLAB: it must fit the configured chunk, and — with a nursery — fit a
+// young half, since nursery chunks are carved young and oversize objects
+// are pre-tenured exactly as on the non-TLAB path.
+func (h *Heap) TLABEligible(n int) bool {
+	if !h.tlabs.enabled {
+		return false
+	}
+	total := h.objWords(n)
+	if total > h.tlabs.chunk {
+		return false
+	}
+	if h.young.enabled && total > h.young.youngWords {
+		return false
+	}
+	return true
+}
+
+// TLABRoom reports whether the buffer can take an n-field object without
+// a refill.
+func (h *Heap) TLABRoom(t *TLAB, n int) bool {
+	return t.active && h.objWords(n) <= t.limit-t.top
+}
+
+// CarveTLAB carves a fresh buffer able to hold at least one n-field
+// object, preferring the configured chunk size but clamping to the space
+// the source region actually has (so a carve fails only when the object
+// itself does not fit — the property the recovery ladder's rescue check
+// relies on). Reports false when the region cannot take the object; the
+// caller then falls back to Alloc and, on failure, the OOM ladder.
+func (h *Heap) CarveTLAB(n int) (TLAB, bool) {
+	if !h.tlabs.enabled {
+		panic("CarveTLAB: TLABs not enabled")
+	}
+	if h.inGC {
+		panic("CarveTLAB: collection in progress")
+	}
+	if !h.TLABEligible(n) {
+		return TLAB{}, false
+	}
+	total := h.objWords(n)
+	size := h.tlabs.chunk
+	var base int
+	if h.young.enabled {
+		y := &h.young
+		avail := y.youngOff + y.youngWords - y.youngAlloc
+		if size > avail {
+			size = avail
+		}
+		if size < total {
+			return TLAB{}, false
+		}
+		base = y.youngAlloc
+		y.youngAlloc += size
+	} else {
+		avail := h.limit - h.alloc
+		if size > avail {
+			size = avail
+		}
+		if size < total {
+			return TLAB{}, false
+		}
+		base = h.alloc
+		h.alloc += size
+	}
+	h.spansValid = false
+	h.tlabs.live++
+	h.Stats.SharedAllocs++
+	h.Stats.TLABRefills++
+	h.Stats.TLABRefillWords += int64(size)
+	return TLAB{start: base, top: base, limit: base + size, young: h.young.enabled, active: true}, true
+}
+
+// AllocTLAB bump-allocates an n-field object inside the buffer, or
+// reports false when the buffer cannot take it (empty, retired, or full —
+// the caller refills via CarveTLAB). This is the allocation fast path: no
+// shared-heap state is consulted beyond the side metadata the object
+// itself needs (age slot in the nursery, size under mark/sweep, header in
+// tagged mode).
+func (h *Heap) AllocTLAB(t *TLAB, n int) (code.Word, bool) {
+	total := h.objWords(n)
+	if !t.active || total > t.limit-t.top {
+		return 0, false
+	}
+	if h.inGC {
+		panic("AllocTLAB: collection in progress")
+	}
+	base := t.top
+	t.top += total
+	if t.young {
+		h.young.ages[h.youngActiveIdx()][base-h.young.youngOff] = 0
+	} else if h.kind == MarkSweep {
+		h.objSize[base] = int32(total)
+	}
+	if h.Repr == code.ReprTagged {
+		h.mem[base] = code.Word(n)<<1 | 1 // odd header: field count
+	}
+	h.spansValid = false
+	h.Stats.Allocations++
+	h.Stats.WordsAllocated += int64(total)
+	h.Stats.TLABAllocs++
+	h.Stats.TLABAllocWords += int64(total)
+	return code.EncodePtr(h.Repr, code.HeapBase+base), true
+}
+
+// RetireTLAB returns a buffer to the heap, leaving a tiling the sweep,
+// the verifier and the next collection all accept. The unused tail is
+// given back to the region's bump pointer when the buffer still sits at
+// its frontier (waste 0), or accounted as waste: a swept gap on the
+// exact-size free list under mark/sweep, dead words under copying and in
+// the nursery. Retiring an empty or already-retired buffer is a no-op.
+// Returns the (waste, returned) word counts for per-task accounting.
+func (h *Heap) RetireTLAB(t *TLAB) (waste, returned int) {
+	if !t.active {
+		return 0, 0
+	}
+	if h.inGC {
+		panic("RetireTLAB: collection in progress")
+	}
+	unused := t.limit - t.top
+	switch {
+	case unused == 0:
+		// Fully used: nothing to give back or account.
+	case t.young && h.young.youngAlloc == t.limit:
+		h.young.youngAlloc = t.top
+		returned = unused
+	case !t.young && h.alloc == t.limit:
+		h.alloc = t.top
+		returned = unused
+	default:
+		waste = unused
+		if !t.young && h.kind == MarkSweep {
+			if h.gapSize == nil {
+				h.gapSize = make([]int32, len(h.mem))
+			}
+			h.gapSize[t.top] = int32(unused)
+			h.free[unused] = append(h.free[unused], t.top)
+		}
+	}
+	h.Stats.TLABWasteWords += int64(waste)
+	h.Stats.TLABReturnedWords += int64(returned)
+	h.tlabs.live--
+	*t = TLAB{}
+	return waste, returned
+}
+
+// NeedTLAB is the TLAB-aware form of Need: it reports whether an n-field
+// allocation would still fail if a task retried it right now through the
+// TLAB path (refill carve, then the shared-heap fallback). The recovery
+// ladder's rescue check must use this form on a TLAB heap — judging a
+// TLAB-eligible retry against Need alone ignores that the retry refills
+// from the nursery (or bump region) via a clamped carve, which succeeds
+// whenever the object itself fits.
+func (h *Heap) NeedTLAB(n int) bool {
+	if !h.tlabs.enabled {
+		return h.Need(n)
+	}
+	total := h.objWords(n)
+	if h.TLABEligible(n) {
+		if h.young.enabled {
+			y := &h.young
+			return y.youngAlloc+total > y.youngOff+y.youngWords
+		}
+		if h.alloc+total <= h.limit {
+			return false
+		}
+		// The carve failed but the slow-path fallback may still serve the
+		// object from a mark/sweep free list.
+		if h.kind == MarkSweep {
+			return len(h.free[total]) == 0
+		}
+		return true
+	}
+	return h.Need(n)
+}
+
+// VerifyTLABs checks the TLAB bookkeeping invariants after a collection:
+// no buffer may survive into (or out of) a collection un-retired.
+func (h *Heap) VerifyTLABs() []error {
+	if h.tlabs.live != 0 {
+		return []error{fmt.Errorf("heap verify: %d TLABs still live after a collection", h.tlabs.live)}
+	}
+	return nil
+}

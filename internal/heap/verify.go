@@ -40,6 +40,9 @@ func (h *Heap) VerifyHeap() []error {
 	if h.young.enabled {
 		errs = h.verifyNursery()
 	}
+	if h.tlabs.enabled {
+		errs = append(errs, h.VerifyTLABs()...)
+	}
 	if h.kind == MarkSweep {
 		return append(errs, h.verifyMarkSweep()...)
 	}

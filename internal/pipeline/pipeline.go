@@ -93,6 +93,14 @@ type Options struct {
 	// PromoteAfter is the survival count at which nursery objects tenure
 	// into the old region (0 = the default of 2).
 	PromoteAfter int
+	// TLABWords > 0 gives every task a private allocation buffer refilled
+	// from the shared heap (or the nursery) in chunks of this many words
+	// (-tlab N). Tasking runs only: the single-task VM path has no
+	// allocation contention and is left bit-identical.
+	TLABWords int
+	// FailRefillsOnly restricts FailAllocNth/FailAllocEvery to TLAB refill
+	// carves, so injection schedules target the refill path specifically.
+	FailRefillsOnly bool
 }
 
 // faultPlan assembles the fault-injection plan implied by the options, or
@@ -108,6 +116,7 @@ func (o Options) faultPlan() *gc.FaultPlan {
 		FailEvery:   o.FailAllocEvery,
 		WorkerDelay: o.WorkerDelay,
 		Watchdog:    o.Watchdog,
+		RefillOnly:  o.FailRefillsOnly,
 	}
 }
 

@@ -131,12 +131,16 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 	}
 
 	// Generational columns appear only when some record carries a kind, so
-	// non-nursery output (and its goldens) is unchanged.
+	// non-nursery output (and its goldens) is unchanged. TLAB columns
+	// follow the same convention, keyed on a record carrying a TLAB block.
 	gen := false
+	tlab := false
 	for _, r := range t.Records {
 		if r.Kind != "" {
 			gen = true
-			break
+		}
+		if r.TLAB != nil {
+			tlab = true
 		}
 	}
 	header := []string{"seq"}
@@ -149,6 +153,9 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 	header = append(header, "par", "before", "live", "surv%", "words", "frames", "slots", "flhit%")
 	if gen {
 		header = append(header, "prom", "rem", "barrier")
+	}
+	if tlab {
+		header = append(header, "refills", "fast", "shared", "waste")
 	}
 	rows := make([][]string, 0, len(t.Records))
 	for _, r := range t.Records {
@@ -182,6 +189,18 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 				fmt.Sprint(r.PromotedWords),
 				fmt.Sprint(r.Remembered),
 				fmt.Sprint(r.BarrierHits),
+			)
+		}
+		if tlab {
+			tr := r.TLAB
+			if tr == nil {
+				tr = &gc.TLABRecord{}
+			}
+			row = append(row,
+				fmt.Sprint(tr.Refills),
+				fmt.Sprint(tr.FastAllocs),
+				fmt.Sprint(tr.SharedAllocs),
+				fmt.Sprint(tr.WasteWords),
 			)
 		}
 		rows = append(rows, row)
@@ -246,6 +265,33 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 	if planHits+planMisses+siteHits+kernelWords > 0 {
 		fmt.Fprintf(&b, "fast path: plan-hits=%d plan-misses=%d site-cache-hits=%d kernel-words=%d\n",
 			planHits, planMisses, siteHits, kernelWords)
+	}
+	if tlab || t.TLABTotal != nil {
+		// Prefer the finalized whole-run total: per-record deltas stop at
+		// the last collection and miss the mutator tail after it.
+		var cum gc.TLABRecord
+		if t.TLABTotal != nil {
+			cum = *t.TLABTotal
+		} else {
+			for _, r := range t.Records {
+				if r.TLAB == nil {
+					continue
+				}
+				cum.Refills += r.TLAB.Refills
+				cum.RefillWords += r.TLAB.RefillWords
+				cum.FastAllocs += r.TLAB.FastAllocs
+				cum.SharedAllocs += r.TLAB.SharedAllocs
+				cum.WasteWords += r.TLAB.WasteWords
+				cum.ReturnedWords += r.TLAB.ReturnedWords
+			}
+		}
+		ratio := 0.0
+		if cum.FastAllocs+cum.SharedAllocs > 0 {
+			ratio = float64(cum.SharedAllocs) / float64(cum.FastAllocs+cum.SharedAllocs)
+		}
+		fmt.Fprintf(&b, "tlab: refills=%d refill-words=%d fast-allocs=%d shared-allocs=%d waste-words=%d returned-words=%d shared-ratio=%.3f\n",
+			cum.Refills, cum.RefillWords, cum.FastAllocs, cum.SharedAllocs,
+			cum.WasteWords, cum.ReturnedWords, ratio)
 	}
 	if rs := t.Resilience; rs != (gc.ResilienceStats{}) {
 		fmt.Fprintf(&b, "resilience: injected-ooms=%d torture-collections=%d emergency-collections=%d heap-growths=%d watchdog-trips=%d serial-fallbacks=%d task-faults=%d\n",

@@ -209,6 +209,41 @@ fast path: plan-hits=128 plan-misses=6 site-cache-hits=128 kernel-words=168
 	}
 }
 
+// TestTelemetryTableGoldenTLAB pins the allocation-buffer columns: with
+// -tlab set on a tasking run, each record grows refill/fast/shared/waste
+// deltas and the summary gains the cumulative tlab line with the
+// shared-acquisition ratio. With -tlab 0 none of this renders (pinned by
+// the other goldens and TestTLABDisabledLeavesTelemetryClean).
+func TestTelemetryTableGoldenTLAB(t *testing.T) {
+	src := `
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let rec churn n = if n = 0 then 0 else (let _ = upto 20 in churn (n - 1))
+let task_a () = let _ = churn 6 in sum (upto 10)
+let task_b () = let _ = churn 6 in sum (upto 20)
+`
+	res, err := RunTasks(src, []string{"task_a", "task_b"}, Options{
+		Strategy: gc.StratCompiled, HeapWords: 512, TLABWords: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != 55 || res.Values[1] != 210 {
+		t.Fatalf("values = %v, want [55 210]", res.Values)
+	}
+	got := TelemetryTable(res.Telemetry, TelemetryOptions{OmitTiming: true})
+	want := `gc telemetry: strategy=compiled kind=copying collections=1
+seq  par  before  live  surv%  words  frames  slots  flhit%  refills  fast  shared  waste
+  0    1     496    16    3.2     16       8      1       -       16   248      17      0
+survivor histogram: 0-10%=1
+fast path: plan-hits=4 plan-misses=4 site-cache-hits=4 kernel-words=16
+tlab: refills=19 refill-words=608 fast-allocs=270 shared-allocs=20 waste-words=28 returned-words=40 shared-ratio=0.069
+resilience: injected-ooms=0 torture-collections=0 emergency-collections=1 heap-growths=0 watchdog-trips=0 serial-fallbacks=0 task-faults=0
+`
+	if got != want {
+		t.Errorf("table mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 func TestTelemetryJSONGolden(t *testing.T) {
 	src := strings.Replace(telemetrySrc, "loop 24 0", "loop 6 0", 1)
 	res, err := Run(src, Options{Strategy: gc.StratCompiled, HeapWords: 256})

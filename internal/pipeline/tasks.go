@@ -24,8 +24,15 @@ type TaskResult struct {
 	Stats   tasking.Stats
 	GCStats gc.Stats
 	Heap    heap.Stats
+	// TLABs is aligned with Values: each task's allocation-buffer
+	// accounting (all zero when Options.TLABWords is 0).
+	TLABs []tasking.TLABStats
 	// Telemetry is the collector's per-collection record stream.
 	Telemetry *gc.Telemetry
+	// Group exposes the finished group for post-run inspection — the
+	// differential suite takes live-heap signatures and active-space
+	// snapshots through it.
+	Group *tasking.Group
 }
 
 // RunTasks compiles src for the tasking runtime (gc_word elision disabled:
@@ -98,6 +105,7 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 	}
 	group.GrowFactor = opts.GrowFactor
 	group.MaxHeapWords = opts.MaxHeapWords
+	group.TLABWords = opts.TLABWords
 	if opts.SuspendAtAllocs {
 		group.Policy = tasking.SuspendAtAllocs
 	}
@@ -116,6 +124,7 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 		GCStats:   group.Col.Stats,
 		Heap:      group.Heap.Stats,
 		Telemetry: &group.Col.Telem,
+		Group:     group,
 	}
 	for _, t := range group.Tasks {
 		if t.Status == tasking.Faulted {
@@ -125,6 +134,7 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 		}
 		res.Outputs = append(res.Outputs, t.Out.String())
 		res.Faults = append(res.Faults, t.Fault)
+		res.TLABs = append(res.TLABs, t.TLAB)
 	}
 	return res, nil
 }

@@ -95,6 +95,26 @@ type Task struct {
 	// fault injection skip the retry, or an injected failure would suspend
 	// the same allocation forever.
 	allocRetry bool
+
+	// tlab is this task's private allocation buffer (Group.TLABWords > 0);
+	// TLAB accumulates its lifetime accounting.
+	tlab heap.TLAB
+	TLAB TLABStats
+}
+
+// TLABStats is one task's allocation-buffer accounting over its lifetime.
+// FastAllocs served from the private buffer without touching the shared
+// heap; SlowAllocs went through Heap.Alloc (oversize, or a failed carve
+// rescued by a mark/sweep free list); Refills carved RefillWords from the
+// shared heap, of which WasteWords died unused and ReturnedWords were
+// given back at retirement.
+type TLABStats struct {
+	FastAllocs    int64
+	SlowAllocs    int64
+	Refills       int64
+	RefillWords   int64
+	WasteWords    int64
+	ReturnedWords int64
 }
 
 // FaultKind classifies a task fault.
@@ -222,6 +242,15 @@ type Group struct {
 	// MaxHeapWords is the growth rung's hard ceiling in words per
 	// semispace (0 = unbounded).
 	MaxHeapWords int
+	// TLABWords, when > 0, gives every task a private allocation buffer
+	// refilled in chunks of this many words (-tlab N). The buffers are
+	// armed lazily on the first scheduling call and retired en masse before
+	// every collection via the collector's PreCollect hook.
+	TLABWords int
+
+	// initTask is the transient init task while RunInit is running, so the
+	// pre-collection retirement wave covers its buffer too.
+	initTask *Task
 }
 
 // NewGroup builds a tasking group over a fresh semispace copying heap.
@@ -256,10 +285,93 @@ func NewGroupWith(prog *code.Program, h *heap.Heap, strat gc.Strategy, entries [
 	return g, nil
 }
 
+// setupTLABs lazily arms the heap's TLAB mode and the pre-collection
+// retirement hook. Idempotent; called from every scheduling entry point so
+// callers may set TLABWords any time between construction and first run.
+func (g *Group) setupTLABs() {
+	if g.TLABWords > 0 && !g.Heap.TLABsEnabled() {
+		g.Heap.EnableTLABs(g.TLABWords)
+		g.Col.PreCollect = g.retireAllTLABs
+	}
+}
+
+// retireTaskTLAB retires one task's buffer (no-op when inactive), folding
+// the waste/give-back words into the task's accounting.
+func (g *Group) retireTaskTLAB(t *Task) {
+	if !t.tlab.Active() {
+		return
+	}
+	waste, returned := g.Heap.RetireTLAB(&t.tlab)
+	t.TLAB.WasteWords += int64(waste)
+	t.TLAB.ReturnedWords += int64(returned)
+}
+
+// retireAllTLABs retires every live buffer in the group; the collector
+// runs it (via PreCollect) before any collection so the heap it scans is
+// fully tiled.
+func (g *Group) retireAllTLABs() {
+	for _, t := range g.Tasks {
+		g.retireTaskTLAB(t)
+	}
+	if g.initTask != nil {
+		g.retireTaskTLAB(g.initTask)
+	}
+}
+
+// taskAlloc is the tasking allocation path. With TLABs armed, an eligible
+// request is served from the task's private buffer — a bounds-check-and-
+// bump with no shared-heap acquisition — refilling via one chunked carve
+// when the buffer is full. Oversize requests, and carve failures (the
+// region cannot take even the clamped chunk), fall back to the shared
+// Heap.Alloc, whose failure feeds the ordinary recovery ladder.
+func (g *Group) taskAlloc(t *Task, n int) (code.Word, error) {
+	if g.TLABWords > 0 && g.Heap.TLABEligible(n) {
+		if ptr, ok := g.Heap.AllocTLAB(&t.tlab, n); ok {
+			t.TLAB.FastAllocs++
+			return ptr, nil
+		}
+		g.retireTaskTLAB(t)
+		if tl, ok := g.Heap.CarveTLAB(n); ok {
+			t.tlab = tl
+			t.TLAB.Refills++
+			t.TLAB.RefillWords += int64(tl.Cap())
+			ptr, ok := g.Heap.AllocTLAB(&t.tlab, n)
+			if !ok {
+				panic("tasking: allocation failed inside a fresh TLAB carve")
+			}
+			t.TLAB.FastAllocs++
+			return ptr, nil
+		}
+	}
+	ptr, err := g.Heap.Alloc(n)
+	if err == nil && g.TLABWords > 0 {
+		t.TLAB.SlowAllocs++
+	}
+	return ptr, err
+}
+
+// allocBlocked reports whether a pending allocation would still fail if
+// retried right now. On a TLAB heap the retry refills through a clamped
+// carve (or the mark/sweep free lists), so it must be judged with
+// NeedTLAB — Need alone compares a TLAB-satisfiable request against the
+// shared bump region and sends the ladder climbing rungs it does not need.
+func (g *Group) allocBlocked(n int) bool {
+	if g.TLABWords > 0 && g.Heap.TLABsEnabled() {
+		return g.Heap.NeedTLAB(n)
+	}
+	return g.Heap.Need(n)
+}
+
 // RunInit executes the program's init function to completion on a
 // dedicated task before the group starts.
 func (g *Group) RunInit() error {
+	g.setupTLABs()
 	t := &Task{ID: -1, stack: make([]code.Word, 1024), fp: -1}
+	g.initTask = t
+	defer func() {
+		g.retireTaskTLAB(t)
+		g.initTask = nil
+	}()
 	g.pushFrame(t, g.Prog.InitFunc, -1)
 	for t.Status == Running {
 		if err := g.step(t, 1_000_000); err != nil {
@@ -295,6 +407,9 @@ func (g *Group) Run() error {
 			return err
 		}
 		if !pending {
+			if g.Heap.TLABsEnabled() {
+				g.Col.Telem.FinalizeTLAB(g.Heap.Stats)
+			}
 			return nil
 		}
 		g.collectSuspended()
@@ -305,6 +420,7 @@ func (g *Group) Run() error {
 // (false) or a collection is pending with every live task at a safe point
 // (true).
 func (g *Group) runUntilSuspended() (bool, error) {
+	g.setupTLABs()
 	for {
 		allDone := true
 		anyRan := false
@@ -321,6 +437,11 @@ func (g *Group) runUntilSuspended() (bool, error) {
 				// Fault isolation: the error stops this task only.
 				g.faultTask(t, FaultRuntime, 0, err)
 				continue
+			}
+			if t.Status == Done {
+				// The task will never allocate again; complete its buffer
+				// accounting and release the tail.
+				g.retireTaskTLAB(t)
 			}
 			g.steps += int64(g.Quantum)
 			if g.steps > g.MaxSteps {
@@ -421,7 +542,7 @@ func (g *Group) collectSuspended() {
 // heap by GrowFactor per attempt up to the MaxHeapWords ceiling. live is
 // the suspended-task set whose stacks root the escalation collections.
 func (g *Group) rescueAlloc(live []*Task, n int) bool {
-	if !g.Heap.Need(n) {
+	if !g.allocBlocked(n) {
 		return true
 	}
 	if g.Heap.NurseryEnabled() {
@@ -429,7 +550,7 @@ func (g *Group) rescueAlloc(live []*Task, n int) bool {
 		// reclaims old-region garbage the minor cycle never looked at.
 		if g.Col.LastCollectionMinor() {
 			g.fullCollect(live)
-			if !g.Heap.Need(n) {
+			if !g.allocBlocked(n) {
 				return true
 			}
 		}
@@ -437,7 +558,7 @@ func (g *Group) rescueAlloc(live []*Task, n int) bool {
 		// number of full collections; tenure them all so an oversized
 		// request can be judged against the real old-region headroom.
 		g.tenureCollect(live)
-		if !g.Heap.Need(n) {
+		if !g.allocBlocked(n) {
 			return true
 		}
 	}
@@ -457,14 +578,14 @@ func (g *Group) rescueAlloc(live []*Task, n int) bool {
 			return false
 		}
 		g.Col.Telem.Resilience.HeapGrowths++
-		if !g.Heap.Need(n) {
+		if !g.allocBlocked(n) {
 			return true
 		}
 		if g.Heap.NurseryEnabled() {
 			// Growth extends only the old region; re-tenure so the enlarged
 			// region can absorb whatever still pins the nursery.
 			g.tenureCollect(live)
-			if !g.Heap.Need(n) {
+			if !g.allocBlocked(n) {
 				return true
 			}
 		}
@@ -499,6 +620,7 @@ func (g *Group) faultTask(t *Task, kind FaultKind, allocSize int, cause error) {
 	t.Status = Faulted
 	t.Fault = f
 	t.Err = f
+	g.retireTaskTLAB(t)
 	g.Col.Telem.Resilience.TaskFaults++
 }
 
@@ -885,7 +1007,10 @@ func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
 			t.suspendAlloc(n)
 			return nil
 		}
-		if f.FailAlloc() {
+		// A RefillOnly plan targets the moment a TLAB chunk would be carved
+		// from the shared heap; every other attempt passes through untouched.
+		refill := g.TLABWords > 0 && g.Heap.TLABEligible(n) && !g.Heap.TLABRoom(&t.tlab, n)
+		if f.FailAllocAt(refill) {
 			g.Col.Telem.Resilience.InjectedOOMs++
 			if g.rgc == 0 {
 				g.Col.Telem.Resilience.EmergencyCollections++
@@ -895,7 +1020,7 @@ func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
 			return nil
 		}
 	}
-	ptr, err := g.Heap.Alloc(n)
+	ptr, err := g.taskAlloc(t, n)
 	if err != nil {
 		// The typed allocation failure is the ladder's first rung: raise
 		// Rgc and suspend for an emergency collection; collectSuspended
