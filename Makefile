@@ -11,16 +11,20 @@
 # tier2-tlab is the allocation-buffer pass: the TLAB unit and interleaving
 # fuzz suites plus the cross-strategy allocation-equivalence differential
 # suite under the race detector, and the telemetry corpus with buffers,
-# torture collection and the heap verifier on.
+# torture collection and the heap verifier on. tier2-scenario is the
+# declarative-matrix pass: the scenario DSL suites (golden diagnostics,
+# compiler differential, fuzz seeds) under the race detector, plus the
+# torture-mode scenario from the committed corpus — torture and the heap
+# verifier requested through the DSL's faults block rather than flags.
 
-.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab bench bench-json fuzz
+.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab tier2-scenario bench bench-json fuzz fuzz-scenario
 
 tier1:
 	go build ./...
 	go vet ./...
 	go test ./...
 
-tier2: tier1 tier2-nursery tier2-tlab
+tier2: tier1 tier2-nursery tier2-tlab tier2-scenario
 	go test -race ./...
 	go test -run TestDifferential -count=1 ./internal/pipeline/
 
@@ -31,6 +35,10 @@ tier2-nursery:
 tier2-tlab:
 	go test -race -run 'TestTLAB|TestDifferentialTLAB' -count=1 -timeout 30m ./internal/heap/ ./internal/pipeline/
 	go run -race ./cmd/tfbench -tlab 64 -gc-torture -verify-heap telemetry >/dev/null
+
+tier2-scenario:
+	go test -race -run TestScenario -count=1 -timeout 30m ./internal/scenario/
+	go run -race ./cmd/tfbench -scenario testdata/scenarios/torture.tfs >/dev/null
 
 tier2-torture: tier1
 	GC_TORTURE_FULL=1 go test -race -run 'TestTorture|TestRecoveryLadder|TestWatchdog' -count=1 -timeout 30m ./internal/pipeline/
@@ -44,10 +52,17 @@ bench:
 
 # Regenerate the committed benchmark snapshot (schema tagfree-bench/v1);
 # fixed repeats so snapshots are comparable across the repo's history.
-# Bump the PR number when committing a new trajectory point.
+# Override the output for a new trajectory point:
+#   make bench-json BENCH_OUT=BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR6.json
 bench-json:
-	go run ./cmd/tfbench -repeats 3 -bench-json BENCH_PR5.json
+	go run ./cmd/tfbench -repeats 3 -bench-json $(BENCH_OUT)
 
 # Budgeted fuzzing of the mark/sweep free-list invariants.
 fuzz:
 	go test ./internal/heap/ -fuzz FuzzMarkSweepFreeList -fuzztime 30s
+
+# Budgeted fuzzing of the scenario lexer/parser/compiler (no panics,
+# every diagnostic positioned).
+fuzz-scenario:
+	go test ./internal/scenario/ -fuzz FuzzScenarioParse -fuzztime 30s

@@ -1,4 +1,4 @@
-// Command tfbench regenerates the experiment tables (E1–E12; see
+// Command tfbench regenerates the experiment tables (E1–E13; see
 // EXPERIMENTS.md). With arguments, it runs only the named experiments.
 //
 //	tfbench              # all experiments
@@ -7,6 +7,9 @@
 //	tfbench telemetry    # per-collection GC telemetry over the task corpus
 //	tfbench -json telemetry
 //	tfbench -bench-json BENCH_PR3.json   # machine-readable benchmark snapshot
+//	tfbench -scenario testdata/scenarios/          # declarative scenario matrix
+//	tfbench -scenario run.tfs -json                # ... as a tagfree-bench/v1 snapshot
+//	tfbench -scenario run.tfs -bench-json out.json # table + snapshot file
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"tagfree/internal/experiments"
 	"tagfree/internal/gc"
 	"tagfree/internal/pipeline"
+	"tagfree/internal/scenario"
 	"tagfree/internal/workloads"
 )
 
@@ -31,7 +35,13 @@ func main() {
 	nursery := flag.Int("gc-nursery", 0, "generational nursery size in words per young half (telemetry report)")
 	tlab := flag.Int("tlab", 0, "per-task allocation buffer chunk in words (telemetry report)")
 	benchJSON := flag.String("bench-json", "", "write the benchmark snapshot (schema tagfree-bench/v1) to this file and exit; \"-\" for stdout")
+	scenarioPath := flag.String("scenario", "", "run the scenario matrix from a .tfs file or a directory of .tfs files")
 	flag.Parse()
+
+	if *scenarioPath != "" {
+		runScenarioMatrix(*scenarioPath, *asJSON, *benchJSON)
+		return
+	}
 
 	if *benchJSON != "" {
 		writeBenchSnapshot(*benchJSON, *repeats)
@@ -51,8 +61,9 @@ func main() {
 		"e10": experiments.E10FastPath,
 		"e11": experiments.E11Generational,
 		"e12": experiments.E12AllocContention,
+		"e13": experiments.E13ScenarioMatrix,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -69,6 +80,43 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println(r().Render())
+	}
+}
+
+// runScenarioMatrix loads .tfs scenarios from a file or directory,
+// compiles them against the tasking corpus, executes every cell and emits
+// the comparative report: the aligned table by default, the
+// tagfree-bench/v1 snapshot on stdout with -json, and additionally to a
+// file when -bench-json names one.
+func runScenarioMatrix(path string, asJSON bool, benchJSON string) {
+	scs, err := scenario.LoadPath(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(2)
+	}
+	cells, err := scenario.Compile(scs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(2)
+	}
+	snap := scenario.RunMatrix(cells)
+	js, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(1)
+	}
+	js = append(js, '\n')
+	if asJSON {
+		os.Stdout.Write(js)
+	} else {
+		fmt.Print(snap.Table())
+	}
+	if benchJSON != "" && benchJSON != "-" {
+		if err := os.WriteFile(benchJSON, js, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d cells, schema %s)\n", benchJSON, len(snap.Runs), snap.Schema)
 	}
 }
 

@@ -16,6 +16,9 @@
 //	E9  collection disciplines: copying vs mark/sweep on the same maps
 //	E10 collection fast path: pause breakdown, cached vs uncached (bench.go)
 //	E11 generational nursery: minor vs full collection pause (bench.go)
+//	E12 per-task allocation buffers: shared-heap acquisitions per allocation
+//	E13 scenario matrix: the declarative .tfs corpus, all strategies ×
+//	    disciplines (scenario.go)
 package experiments
 
 import (
@@ -513,6 +516,7 @@ func All(repeats int) []*Table {
 		E10FastPath(),
 		E11Generational(),
 		E12AllocContention(),
+		E13ScenarioMatrix(),
 	}
 }
 

@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"testing"
+
+	"tagfree/internal/scenario"
+)
+
+// TestScenarioSchemaMatchesBench pins the duplicated schema constant:
+// scenario snapshots must carry the same tagfree-bench/v1 schema string
+// as the benchmark snapshots (the constant is duplicated in
+// internal/scenario to avoid an import cycle — experiments imports
+// scenario for E13).
+func TestScenarioSchemaMatchesBench(t *testing.T) {
+	if scenario.SnapshotSchema != BenchSchema {
+		t.Fatalf("scenario.SnapshotSchema = %q, experiments.BenchSchema = %q — the duplicated constants drifted",
+			scenario.SnapshotSchema, BenchSchema)
+	}
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/mlang/token"
+	"tagfree/internal/pipeline"
+	"tagfree/internal/workloads"
+)
+
+// The scenario compiler: crossing a scenario's axes into matrix cells.
+// Each cell is exactly one pipeline.RunTasks invocation — the same
+// Options struct a hand-coded harness (cmd/tfgc tasks, the telemetry
+// report, the bench suites) would build, which is what the differential
+// suite pins: a compiled cell must be configuration-identical to its
+// hand-written twin, so the DSL adds breadth without adding a second
+// execution semantics.
+
+// Cell is one compiled matrix cell: a workload under one fully resolved
+// configuration.
+type Cell struct {
+	// Scenario and Name identify the cell; Name is
+	// "<scenario>/<strategy>/<discipline-key>/par<k>".
+	Scenario string
+	Name     string
+
+	Workload   workloads.TaskWorkload
+	Strategy   gc.Strategy
+	Discipline Discipline
+	Par        int
+	Repeats    int
+
+	// Opts is the exact configuration RunMatrix passes to
+	// pipeline.RunTasks.
+	Opts pipeline.Options
+
+	// Skip is non-empty for combinations the runtime rejects by design
+	// (e.g. mark/sweep under the tagged baseline); the cell is reported,
+	// not run.
+	Skip string
+}
+
+// Compile crosses every scenario's axes into cells, in scenario order
+// with strategies varying slowest. Unknown workloads and contradictory
+// sizes are positioned errors pointing at the scenario source.
+func Compile(scs []*Scenario) ([]Cell, error) {
+	var cells []Cell
+	for _, sc := range scs {
+		w, ok := workloads.TaskByName(sc.Workload)
+		if !ok {
+			return nil, sc.compileErrorf(sc.keyPos["workload"],
+				"unknown task workload %q (have %s)", sc.Workload, taskWorkloadList())
+		}
+		heapWords := sc.HeapWords
+		if heapWords == 0 {
+			heapWords = w.HeapWords
+		}
+		if sc.TLABWords >= heapWords {
+			return nil, sc.compileErrorf(sc.keyPos["tlab"],
+				"tlab size %d words must be smaller than the heap (%d words)", sc.TLABWords, heapWords)
+		}
+		if sc.NurseryWords > 0 && sc.TLABWords >= sc.NurseryWords {
+			return nil, sc.compileErrorf(sc.keyPos["tlab"],
+				"tlab size %d words must be smaller than the nursery (%d words)", sc.TLABWords, sc.NurseryWords)
+		}
+		w.HeapWords = heapWords
+		for _, strat := range sc.Strategies {
+			for _, disc := range sc.Disciplines {
+				for _, par := range sc.Par {
+					cells = append(cells, compileCell(sc, w, strat, disc, par))
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// compileCell resolves one (strategy, discipline, par) point.
+func compileCell(sc *Scenario, w workloads.TaskWorkload, strat gc.Strategy, disc Discipline, par int) Cell {
+	c := Cell{
+		Scenario:   sc.Name,
+		Name:       fmt.Sprintf("%s/%s/%s/par%d", sc.Name, strat, disc.Key(), par),
+		Workload:   w,
+		Strategy:   strat,
+		Discipline: disc,
+		Par:        par,
+		Repeats:    sc.Repeats,
+		Opts: pipeline.Options{
+			Strategy:        strat,
+			HeapWords:       w.HeapWords,
+			MarkSweep:       disc == MarkSweep,
+			Parallelism:     par,
+			NurseryWords:    sc.NurseryWords,
+			PromoteAfter:    sc.PromoteAfter,
+			TLABWords:       sc.TLABWords,
+			VerifyHeap:      sc.Faults.VerifyHeap,
+			Torture:         sc.Faults.Torture,
+			FailAllocNth:    sc.Faults.FailAlloc,
+			FailAllocEvery:  sc.Faults.FailEvery,
+			FailRefillsOnly: sc.Faults.FailRefills,
+			GrowFactor:      sc.Faults.HeapGrow,
+			MaxHeapWords:    sc.Faults.HeapMax,
+		},
+	}
+	// Combinations the runtime rejects by design become reported skips,
+	// so the matrix still covers every strategy × discipline cell.
+	switch {
+	case strat == gc.StratTagged && disc == MarkSweep:
+		c.Skip = "mark/sweep is implemented for the tag-free strategies"
+	case strat == gc.StratTagged && sc.NurseryWords > 0:
+		c.Skip = "the generational nursery requires a tag-free strategy"
+	}
+	return c
+}
+
+// compileErrorf builds a compile-time diagnostic, prefixed with the
+// scenario's source file when LoadPath recorded one — Compile runs over
+// scenarios pooled from many files, so the position alone is ambiguous.
+func (sc *Scenario) compileErrorf(pos token.Pos, format string, args ...any) error {
+	err := posErrorf(pos, format, args...)
+	if sc.File == "" {
+		return err
+	}
+	return fmt.Errorf("%s:%w", sc.File, err)
+}
+
+// taskWorkloadList renders the tasking corpus names for diagnostics.
+func taskWorkloadList() string {
+	names := make([]string, len(workloads.Tasking))
+	for i, w := range workloads.Tasking {
+		names[i] = w.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Loading .tfs files. LoadPath accepts either one file or a directory of
+// them — `tfbench -scenario testdata/scenarios/` runs the committed
+// corpus — and FindCorpusDir locates that corpus from any package's test
+// working directory by walking up to the module root.
+
+// LoadPath parses a .tfs file, or every *.tfs file (sorted by name) in a
+// directory. Scenario names must be unique across the whole load. Errors
+// are prefixed with the offending file name; the wrapped error is the
+// parser's *PosError.
+func LoadPath(path string) ([]*Scenario, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	files := []string{path}
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "*.tfs"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return nil, fmt.Errorf("%s: no .tfs scenario files", path)
+		}
+	}
+	var out []*Scenario
+	seen := map[string]string{} // scenario name -> file
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		scs, err := Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%w", f, err)
+		}
+		for _, sc := range scs {
+			sc.File = f
+			if prev, dup := seen[sc.Name]; dup {
+				return nil, fmt.Errorf("%s:%w", f,
+					posErrorf(sc.Pos, "duplicate scenario name %q (also defined in %s)", sc.Name, prev))
+			}
+			seen[sc.Name] = f
+		}
+		out = append(out, scs...)
+	}
+	return out, nil
+}
+
+// FindCorpusDir returns the committed scenario corpus directory
+// (<module root>/testdata/scenarios), located by walking up from the
+// working directory to the directory containing go.mod — so tests and
+// experiments find it whether they run from the repository root or from
+// their package directory.
+func FindCorpusDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			corpus := filepath.Join(dir, "testdata", "scenarios")
+			if _, err := os.Stat(corpus); err != nil {
+				return "", fmt.Errorf("scenario corpus missing: %w", err)
+			}
+			return corpus, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory; cannot locate testdata/scenarios")
+		}
+		dir = parent
+	}
+}

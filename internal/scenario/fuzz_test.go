@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScenarioParse fuzzes the .tfs lexer and parser, seeded from the
+// committed corpus plus near-miss mutations. The properties: parsing
+// never panics, every rejection is a *PosError carrying a valid 1-based
+// position, and anything that parses has well-formed axes and survives
+// the compiler without panicking.
+func FuzzScenarioParse(f *testing.F) {
+	if dir, err := FindCorpusDir(); err == nil {
+		files, _ := filepath.Glob(filepath.Join(dir, "*.tfs"))
+		for _, file := range files {
+			if src, err := os.ReadFile(file); err == nil {
+				f.Add(string(src))
+			}
+		}
+	}
+	f.Add("scenario x { workload taskchurn }")
+	f.Add("scenario x {\n  workload taskchurn\n  strategies compiled wizard\n}")
+	f.Add("scenario x {\n  nursery 7\n  tlab 999999\n}")
+	f.Add("scenario x {\n  faults { heap-grow 1.5 }\n}")
+	f.Add("scenario { {")
+	f.Add("# just a comment\n\n")
+	f.Add("scenario x { workload \xff }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		scs, err := Parse(src)
+		if err != nil {
+			var pe *PosError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *PosError: %v", err, err)
+			}
+			if pe.Pos.Line < 1 || pe.Pos.Col < 1 {
+				t.Fatalf("diagnostic with invalid position %v: %v", pe.Pos, err)
+			}
+			return
+		}
+		for _, sc := range scs {
+			if sc.Name == "" || sc.Workload == "" {
+				t.Fatalf("accepted scenario with empty name/workload: %+v", sc)
+			}
+			if len(sc.Strategies) == 0 || len(sc.Disciplines) == 0 || len(sc.Par) == 0 || sc.Repeats < 1 {
+				t.Fatalf("accepted scenario with empty axis: %+v", sc)
+			}
+		}
+		// The compiler may reject (unknown workload, contradictory
+		// sizes) but must never panic, and its rejections are
+		// positioned too.
+		if _, err := Compile(scs); err != nil {
+			var pe *PosError
+			if !errors.As(err, &pe) {
+				t.Fatalf("compile error %T is not a *PosError: %v", err, err)
+			}
+			if pe.Pos.Line < 1 || pe.Pos.Col < 1 {
+				t.Fatalf("compile diagnostic with invalid position %v: %v", pe.Pos, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"strings"
+
+	"tagfree/internal/mlang/token"
+)
+
+// The scenario lexer follows the skeleton of the MinML one
+// (internal/mlang/lexer): a hand-written scanner tracking 1-based
+// line:col positions, reusing token.Pos so scenario diagnostics and MinML
+// diagnostics speak the same coordinates. The .tfs surface is much
+// smaller — identifiers, numbers, braces and line structure — and, unlike
+// MinML, newlines are tokens: a scenario statement ends at end of line.
+
+// Kind identifies the lexical class of a scenario token.
+type Kind int
+
+// Scenario token kinds.
+const (
+	EOF Kind = iota
+	ILLEGAL
+	IDENT   // workload, taskchurn, verify-heap
+	INT     // 2048
+	FLOAT   // 1.5
+	LBRACE  // {
+	RBRACE  // }
+	NEWLINE // statement terminator
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL", IDENT: "IDENT", INT: "INT",
+	FLOAT: "FLOAT", LBRACE: "{", RBRACE: "}", NEWLINE: "newline",
+}
+
+// String returns a readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "Kind(?)"
+}
+
+// Token is a single scenario lexeme with its position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  token.Pos
+}
+
+// Lexer scans .tfs source into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []*PosError
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*PosError { return l.errs }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) next() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+// .tfs identifiers are lower-case words with interior dashes: key names
+// (verify-heap, fail-alloc), workload and scenario names (taskchurn,
+// churn-all) and axis values (marksweep). Underscores ride along for
+// workload names like task_x.
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c == '-' || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// skipBlanks consumes spaces, tabs and `#` comments — everything between
+// tokens except the newline, which is a token of its own.
+func (l *Lexer) skipBlanks() {
+	for {
+		switch l.peek() {
+		case ' ', '\t', '\r':
+			l.next()
+		case '#':
+			for l.peek() != '\n' && l.off < len(l.src) {
+				l.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. After the end of input it returns EOF
+// tokens forever.
+func (l *Lexer) Next() Token {
+	l.skipBlanks()
+	pos := l.pos()
+	c := l.peek()
+	switch {
+	case l.off >= len(l.src):
+		return Token{Kind: EOF, Pos: pos}
+	case c == '\n':
+		l.next()
+		return Token{Kind: NEWLINE, Pos: pos}
+	case c == '{':
+		l.next()
+		return Token{Kind: LBRACE, Text: "{", Pos: pos}
+	case c == '}':
+		l.next()
+		return Token{Kind: RBRACE, Text: "}", Pos: pos}
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case isIdentStart(c):
+		return l.scanIdent(pos)
+	}
+	l.next()
+	l.errs = append(l.errs, posErrorf(pos, "unexpected character %q", rune(c)))
+	return Token{Kind: ILLEGAL, Text: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) Token {
+	start := l.off
+	for isDigit(l.peek()) {
+		l.next()
+	}
+	kind := INT
+	if l.peek() == '.' {
+		l.next()
+		if !isDigit(l.peek()) {
+			l.errs = append(l.errs, posErrorf(pos, "malformed number %q", l.src[start:l.off]))
+			return Token{Kind: ILLEGAL, Text: l.src[start:l.off], Pos: pos}
+		}
+		for isDigit(l.peek()) {
+			l.next()
+		}
+		kind = FLOAT
+	}
+	// A number running into letters (2048k) is a single malformed token,
+	// not a number followed by a surprise identifier.
+	if isIdentStart(l.peek()) {
+		for isIdentPart(l.peek()) {
+			l.next()
+		}
+		l.errs = append(l.errs, posErrorf(pos, "malformed number %q", l.src[start:l.off]))
+		return Token{Kind: ILLEGAL, Text: l.src[start:l.off], Pos: pos}
+	}
+	return Token{Kind: kind, Text: l.src[start:l.off], Pos: pos}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) Token {
+	start := l.off
+	for isIdentPart(l.peek()) {
+		l.next()
+	}
+	return Token{Kind: IDENT, Text: strings.ToLower(l.src[start:l.off]), Pos: pos}
+}
+
+// All scans the entire input and returns every token up to and including
+// the first EOF. A convenience for tests and the parser.
+func (l *Lexer) All() []Token {
+	var out []Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out
+		}
+	}
+}

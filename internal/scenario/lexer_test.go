@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"testing"
+
+	"tagfree/internal/mlang/token"
+)
+
+func TestScenarioLexerTokens(t *testing.T) {
+	src := "scenario churn-all {\n  par 1 4 # workers\n  heap-grow 1.5\n}\n"
+	want := []struct {
+		kind Kind
+		text string
+		pos  token.Pos
+	}{
+		{IDENT, "scenario", token.Pos{Line: 1, Col: 1}},
+		{IDENT, "churn-all", token.Pos{Line: 1, Col: 10}},
+		{LBRACE, "{", token.Pos{Line: 1, Col: 20}},
+		{NEWLINE, "", token.Pos{Line: 1, Col: 21}},
+		{IDENT, "par", token.Pos{Line: 2, Col: 3}},
+		{INT, "1", token.Pos{Line: 2, Col: 7}},
+		{INT, "4", token.Pos{Line: 2, Col: 9}},
+		{NEWLINE, "", token.Pos{Line: 2, Col: 20}},
+		{IDENT, "heap-grow", token.Pos{Line: 3, Col: 3}},
+		{FLOAT, "1.5", token.Pos{Line: 3, Col: 13}},
+		{NEWLINE, "", token.Pos{Line: 3, Col: 16}},
+		{RBRACE, "}", token.Pos{Line: 4, Col: 1}},
+		{NEWLINE, "", token.Pos{Line: 4, Col: 2}},
+		{EOF, "", token.Pos{Line: 5, Col: 1}},
+	}
+	toks := NewLexer(src).All()
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		g := toks[i]
+		if g.Kind != w.kind || g.Text != w.text || g.Pos != w.pos {
+			t.Errorf("token %d = {%v %q %v}, want {%v %q %v}",
+				i, g.Kind, g.Text, g.Pos, w.kind, w.text, w.pos)
+		}
+	}
+}
+
+func TestScenarioLexerErrorsArePositioned(t *testing.T) {
+	cases := []struct {
+		src  string
+		msg  string
+		line int
+		col  int
+	}{
+		{"par $\n", `unexpected character '$'`, 1, 5},
+		{"heap 2048k\n", `malformed number "2048k"`, 1, 6},
+		{"grow 1.\n", `malformed number "1."`, 1, 6},
+	}
+	for _, c := range cases {
+		l := NewLexer(c.src)
+		for {
+			tok := l.Next()
+			if tok.Kind == EOF {
+				break
+			}
+		}
+		errs := l.Errors()
+		if len(errs) == 0 {
+			t.Errorf("%q: no lexer error", c.src)
+			continue
+		}
+		e := errs[0]
+		if e.Pos.Line != c.line || e.Pos.Col != c.col || e.Err.Error() != c.msg {
+			t.Errorf("%q: error %q at %v, want %q at %d:%d",
+				c.src, e.Err, e.Pos, c.msg, c.line, c.col)
+		}
+	}
+}

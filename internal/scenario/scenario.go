@@ -1,0 +1,191 @@
+// Package scenario implements the .tfs scenario language: a small
+// declarative notation for GC benchmark scenarios, compiled into the
+// corpus-run machinery (pipeline.RunTasks) the experiments and telemetry
+// reports already use. A scenario names a task workload and the matrix
+// axes to cross it with — collection strategies, heap disciplines,
+// parallelism — plus the runtime knobs (heap, nursery, promotion, TLAB)
+// and a fault-injection block, so that widening the evaluation no longer
+// means editing Go in internal/workloads: workloads stay code, but the
+// *configurations* under which they run become data.
+//
+// A .tfs file holds one or more scenarios:
+//
+//	# taskchurn across every strategy and discipline, sequential and 4 workers.
+//	scenario churn-all {
+//	  workload    taskchurn
+//	  strategies  compiled interp appel tagged
+//	  disciplines copying marksweep
+//	  par         1 4
+//	  faults {
+//	    torture
+//	    verify-heap
+//	  }
+//	}
+//
+// `#` comments run to end of line; statements end at end of line. Every
+// key is validated when parsed — unknown keys, unknown strategy or
+// discipline names and out-of-range sizes are positioned errors (see
+// PosError) — and the ranges mirror the constraints cmd/tfgc and
+// cmd/tfbench enforce on their flags, so a scenario that parses is a
+// configuration those tools would accept.
+//
+// Compile crosses the axes into matrix cells, one pipeline.Options per
+// (strategy, discipline, par); RunMatrix executes them and renders the
+// comparative report (an aligned table plus a tagfree-bench/v1 JSON
+// snapshot). Cells whose combination the runtime rejects by design
+// (mark/sweep or a nursery under the tagged baseline) are emitted as
+// skipped rows rather than dropped, so every strategy × discipline ×
+// scenario cell is accounted for.
+package scenario
+
+import (
+	"fmt"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/mlang/token"
+)
+
+// Scenario is one parsed scenario: a workload crossed with matrix axes
+// under shared runtime knobs. Zero-valued axes get defaults at parse time
+// (all strategies, copying discipline, par 1, one repeat); sizes default
+// to 0 = "use the workload's recommendation" (heap) or "off" (nursery,
+// tlab).
+type Scenario struct {
+	Name string
+	// Pos is the position of the scenario header, for diagnostics.
+	Pos token.Pos
+	// File is the .tfs file the scenario came from (set by LoadPath;
+	// empty for Parse), prefixed onto compile-time diagnostics.
+	File string
+
+	// Workload names a task workload from workloads.Tasking.
+	Workload string
+
+	// The matrix axes.
+	Strategies  []gc.Strategy
+	Disciplines []Discipline
+	Par         []int
+
+	// Repeats is the best-of wall-time repetition count per cell.
+	Repeats int
+
+	// Runtime knobs, in words (0 = default/off).
+	HeapWords    int
+	NurseryWords int
+	PromoteAfter int
+	TLABWords    int
+
+	// Faults is the fault-injection plan applied to every cell.
+	Faults FaultBlock
+
+	// keyPos remembers where each key appeared, so compile-time
+	// diagnostics (unknown workload, tlab larger than the heap) can point
+	// at source like parse-time ones.
+	keyPos map[string]token.Pos
+}
+
+// FaultBlock is the scenario's fault-injection plan — the DSL form of the
+// tfgc/tfbench robustness flags.
+type FaultBlock struct {
+	// Torture collects before every allocation; VerifyHeap re-checks heap
+	// invariants after every collection.
+	Torture    bool
+	VerifyHeap bool
+	// FailAlloc fails the Nth allocation once; FailEvery fails every Kth.
+	FailAlloc int64
+	FailEvery int64
+	// FailRefills restricts the injections to TLAB refill carves.
+	FailRefills bool
+	// HeapGrow > 1 enables the recovery ladder's growth rung, bounded by
+	// HeapMax semispace words (0 = unbounded).
+	HeapGrow float64
+	HeapMax  int
+}
+
+// Discipline is a heap discipline axis value.
+type Discipline int
+
+// The two heap disciplines a scenario can cross with.
+const (
+	Copying Discipline = iota
+	MarkSweep
+)
+
+// String returns the discipline's display name (the spelling BenchRun and
+// the telemetry tables use).
+func (d Discipline) String() string {
+	if d == MarkSweep {
+		return "mark/sweep"
+	}
+	return "copying"
+}
+
+// Key returns the discipline's DSL spelling.
+func (d Discipline) Key() string {
+	if d == MarkSweep {
+		return "marksweep"
+	}
+	return "copying"
+}
+
+// The validation ranges, shared by the parser and the documentation. They
+// mirror what the runtime tolerates: a heap below minHeapWords cannot hold
+// the init globals of the smallest corpus program, and the upper bounds
+// keep a typo'd size from allocating gigawords.
+const (
+	minHeapWords = 128
+	maxHeapWords = 1 << 26
+	minNursery   = 16
+	maxNursery   = 1 << 22
+	minTLAB      = 8
+	maxTLAB      = 1 << 16
+	maxPar       = 64
+	maxRepeats   = 100
+	maxPromote   = 64
+	maxHeapGrow  = 16.0
+)
+
+// strategyNames maps DSL spellings to strategies, in presentation order.
+var strategyNames = []struct {
+	name  string
+	strat gc.Strategy
+}{
+	{"compiled", gc.StratCompiled},
+	{"interp", gc.StratInterp},
+	{"appel", gc.StratAppel},
+	{"tagged", gc.StratTagged},
+}
+
+// strategyByName resolves a DSL strategy spelling.
+func strategyByName(name string) (gc.Strategy, bool) {
+	for _, s := range strategyNames {
+		if s.name == name {
+			return s.strat, true
+		}
+	}
+	return 0, false
+}
+
+// strategyList renders the accepted strategy spellings for diagnostics.
+func strategyList() string {
+	return "compiled, interp, appel, tagged"
+}
+
+// PosError is a scenario diagnostic with a source position; every error
+// the lexer, parser and compiler produce for a given .tfs input is one
+// (or wraps one), so tooling can always point at the offending line:col.
+type PosError struct {
+	Pos token.Pos
+	Err error
+}
+
+// Error renders the diagnostic as "line:col: message".
+func (e *PosError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *PosError) Unwrap() error { return e.Err }
+
+// posErrorf builds a positioned diagnostic.
+func posErrorf(pos token.Pos, format string, args ...any) *PosError {
+	return &PosError{Pos: pos, Err: fmt.Errorf(format, args...)}
+}
