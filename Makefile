@@ -16,15 +16,20 @@
 # compiler differential, fuzz seeds) under the race detector, plus the
 # torture-mode scenario from the committed corpus — torture and the heap
 # verifier requested through the DSL's faults block rather than flags.
+# tier2-serve is the overload pass: the serve-harness suites (admission,
+# shedding, backoff, ladder), the per-task budget suites, and the combined
+# nursery+TLAB recovery-ladder test under the race detector, plus the
+# committed overload-torture scenario (arrivals, shedding and the faults
+# block's torture/injection knobs all through the DSL).
 
-.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab tier2-scenario bench bench-json fuzz fuzz-scenario
+.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab tier2-scenario tier2-serve bench bench-json fuzz fuzz-scenario
 
 tier1:
 	go build ./...
 	go vet ./...
 	go test ./...
 
-tier2: tier1 tier2-nursery tier2-tlab tier2-scenario
+tier2: tier1 tier2-nursery tier2-tlab tier2-scenario tier2-serve
 	go test -race ./...
 	go test -run TestDifferential -count=1 ./internal/pipeline/
 
@@ -39,6 +44,11 @@ tier2-tlab:
 tier2-scenario:
 	go test -race -run TestScenario -count=1 -timeout 30m ./internal/scenario/
 	go run -race ./cmd/tfbench -scenario testdata/scenarios/torture.tfs >/dev/null
+
+tier2-serve:
+	go test -race -count=1 -timeout 30m ./internal/serve/ ./cmd/tfserve/
+	go test -race -run 'TestBudget|TestLadderOutcomeSplit|TestNurseryTLABLadder' -count=1 -timeout 30m ./internal/pipeline/
+	go run -race ./cmd/tfbench -scenario testdata/scenarios/overload-torture.tfs >/dev/null
 
 tier2-torture: tier1
 	GC_TORTURE_FULL=1 go test -race -run 'TestTorture|TestRecoveryLadder|TestWatchdog' -count=1 -timeout 30m ./internal/pipeline/

@@ -1,4 +1,4 @@
-// Command tfbench regenerates the experiment tables (E1–E13; see
+// Command tfbench regenerates the experiment tables (E1–E14; see
 // EXPERIMENTS.md). With arguments, it runs only the named experiments.
 //
 //	tfbench              # all experiments
@@ -62,8 +62,9 @@ func main() {
 		"e11": experiments.E11Generational,
 		"e12": experiments.E12AllocContention,
 		"e13": experiments.E13ScenarioMatrix,
+		"e14": experiments.E14Overload,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -87,11 +88,16 @@ func main() {
 // compiles them against the tasking corpus, executes every cell and emits
 // the comparative report: the aligned table by default, the
 // tagfree-bench/v1 snapshot on stdout with -json, and additionally to a
-// file when -bench-json names one.
+// file when -bench-json names one. On a directory, every failing file is
+// reported (not just the first) and the scenarios that did load still
+// compile and run; the exit status turns nonzero only after the rest of
+// the matrix has been emitted.
 func runScenarioMatrix(path string, asJSON bool, benchJSON string) {
-	scs, err := scenario.LoadPath(path)
-	if err != nil {
+	scs, loadErrs := scenario.LoadPathAll(path)
+	for _, err := range loadErrs {
 		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+	}
+	if len(scs) == 0 {
 		os.Exit(2)
 	}
 	cells, err := scenario.Compile(scs)
@@ -117,6 +123,10 @@ func runScenarioMatrix(path string, asJSON bool, benchJSON string) {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d cells, schema %s)\n", benchJSON, len(snap.Runs), snap.Schema)
+	}
+	if len(loadErrs) > 0 {
+		fmt.Fprintf(os.Stderr, "scenario: %d file(s) failed to load\n", len(loadErrs))
+		os.Exit(2)
 	}
 }
 

@@ -517,6 +517,7 @@ func All(repeats int) []*Table {
 		E11Generational(),
 		E12AllocContention(),
 		E13ScenarioMatrix(),
+		E14Overload(),
 	}
 }
 

@@ -173,11 +173,22 @@ type ResilienceStats struct {
 	// EmergencyCollections counts collections triggered by an allocation
 	// failure (genuine or injected) rather than a Need pre-check.
 	EmergencyCollections int64 `json:"emergency_collections,omitempty"`
+	// LadderRecovered counts ladder climbs (an emergency collection, or an
+	// escalation past the routine collect) whose retry finally succeeded;
+	// LadderExhausted counts climbs that ran out of rungs and ended in an
+	// allocation failure. Split so resilience stats distinguish genuine
+	// recovery from delay-of-death: an emergency-collect rung that merely
+	// preceded the fault is not a rescue.
+	LadderRecovered int64 `json:"ladder_recovered,omitempty"`
+	LadderExhausted int64 `json:"ladder_exhausted,omitempty"`
 	// HeapGrowths counts recovery-ladder heap growths.
 	HeapGrowths int64 `json:"heap_growths,omitempty"`
 	// TaskFaults counts tasks faulted after the ladder was exhausted or a
 	// runtime error.
 	TaskFaults int64 `json:"task_faults,omitempty"`
+	// BudgetFaults counts tasks terminated for exceeding a per-task budget
+	// (step deadline or allocation-word quota); each is also a TaskFault.
+	BudgetFaults int64 `json:"budget_faults,omitempty"`
 }
 
 // record appends one collection's telemetry. kind is "minor"/"major" on a

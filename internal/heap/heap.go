@@ -120,6 +120,14 @@ type Heap struct {
 	// young is the generational nursery state (see nursery.go); zero value
 	// = no nursery, all fast paths compile to the pre-generational code.
 	young nursery
+	// oldReserve, during a copying major with the nursery on, is the
+	// to-space headroom still owed to uncopied old objects. Promotions may
+	// only take what lies beyond it: the from-space used count bounds the
+	// words CopyObject can ever need, so holding that many back makes an
+	// old-object copy overflow impossible no matter how the trace
+	// interleaves promotions with old copies. Each old copy repays its own
+	// share. Zero outside copying majors.
+	oldReserve int
 	// tlabs is the task-local allocation buffer state (see tlab.go); zero
 	// value = no TLABs, allocation goes through Alloc unchanged.
 	tlabs tlabState
@@ -335,6 +343,13 @@ func (h *Heap) BeginGC() {
 	if h.kind == MarkSweep {
 		return // marking happens in place; nothing to flip
 	}
+	if h.young.enabled {
+		// Promotions and old-object copies share the to-space bump; hold
+		// back one word of headroom per used from-space word so the copies
+		// (whose total can never exceed it) cannot be starved by an
+		// unlucky promotion order.
+		h.oldReserve = h.alloc - h.fromOff
+	}
 	h.alloc = h.toOff
 	h.limit = h.toOff + h.semi
 }
@@ -345,6 +360,7 @@ func (h *Heap) EndGC() {
 		panic("EndGC: no collection in progress")
 	}
 	h.inGC = false
+	h.oldReserve = 0
 	if h.young.enabled {
 		defer h.endYoungGC()
 	}
@@ -442,6 +458,12 @@ func (h *Heap) CopyObject(ptr code.Word, n int) code.Word {
 	total := h.objWords(n)
 	if h.alloc+total > h.limit {
 		panic(h.oomError(total))
+	}
+	if h.oldReserve > 0 {
+		// Repay this copy's share of the promotion holdback.
+		if h.oldReserve -= total; h.oldReserve < 0 {
+			h.oldReserve = 0
+		}
 	}
 	oldBase := h.addrIndex(ptr)
 	newBase := h.alloc

@@ -319,7 +319,10 @@ func (h *Heap) promoteDest(n int) (int, bool) {
 		}
 		return base, true
 	}
-	if h.alloc+n > h.limit {
+	// During a copying major, oldReserve words of to-space are owed to old
+	// objects not yet copied; promotions may only take the slack beyond it
+	// (and degrade to young survival otherwise — see youngVisit).
+	if h.alloc+n > h.limit-h.oldReserve {
 		return 0, false
 	}
 	base = h.alloc

@@ -101,6 +101,13 @@ type Options struct {
 	// FailRefillsOnly restricts FailAllocNth/FailAllocEvery to TLAB refill
 	// carves, so injection schedules target the refill path specifically.
 	FailRefillsOnly bool
+	// BudgetSteps > 0 faults any task that executes more than this many
+	// instructions with a BudgetExceeded TaskFault (checked at the same
+	// safe points as Rgc). Tasking runs only.
+	BudgetSteps int64
+	// BudgetAllocWords > 0 faults any task whose cumulative heap allocation
+	// would exceed this many words. Tasking runs only.
+	BudgetAllocWords int64
 }
 
 // faultPlan assembles the fault-injection plan implied by the options, or

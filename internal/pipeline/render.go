@@ -294,9 +294,11 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 			cum.WasteWords, cum.ReturnedWords, ratio)
 	}
 	if rs := t.Resilience; rs != (gc.ResilienceStats{}) {
-		fmt.Fprintf(&b, "resilience: injected-ooms=%d torture-collections=%d emergency-collections=%d heap-growths=%d watchdog-trips=%d serial-fallbacks=%d task-faults=%d\n",
+		fmt.Fprintf(&b, "resilience: injected-ooms=%d torture-collections=%d emergency-collections=%d ladder-recovered=%d ladder-exhausted=%d heap-growths=%d watchdog-trips=%d serial-fallbacks=%d task-faults=%d budget-faults=%d\n",
 			rs.InjectedOOMs, rs.TortureCollections, rs.EmergencyCollections,
-			rs.HeapGrowths, rs.WatchdogTrips, rs.SerialFallbacks, rs.TaskFaults)
+			rs.LadderRecovered, rs.LadderExhausted,
+			rs.HeapGrowths, rs.WatchdogTrips, rs.SerialFallbacks,
+			rs.TaskFaults, rs.BudgetFaults)
 	}
 	return b.String()
 }

@@ -35,22 +35,26 @@ type TaskResult struct {
 	Group *tasking.Group
 }
 
-// RunTasks compiles src for the tasking runtime (gc_word elision disabled:
-// any call can become a suspension point) and runs the named entry
-// functions as concurrent tasks over a shared heap. Every entry must be a
-// top-level function of type unit -> int.
-func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error) {
+// BuildTaskGroup compiles src for the tasking runtime (gc_word elision
+// disabled: any call can become a suspension point), validates each named
+// entry as a top-level function of type unit -> int, and assembles a task
+// group with every option knob wired but no tasks spawned. It returns the
+// group and the compiled function indices aligned with entryNames; callers
+// spawn tasks themselves (all up front for a closed corpus run, or
+// on demand from a Tick hook for open-loop serving) and then drive
+// RunInit/Run.
+func BuildTaskGroup(src string, entryNames []string, opts Options) (*tasking.Group, []int, error) {
 	irp, info, err := Frontend(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, name := range entryNames {
 		sch, ok := info.TopScheme[name]
 		if !ok {
-			return nil, fmt.Errorf("tasking: no top-level binding %s", name)
+			return nil, nil, fmt.Errorf("tasking: no top-level binding %s", name)
 		}
 		if s := sch.String(); s != "unit -> int" {
-			return nil, fmt.Errorf("tasking: entry %s has type %s, need unit -> int", name, s)
+			return nil, nil, fmt.Errorf("tasking: entry %s has type %s, need unit -> int", name, s)
 		}
 	}
 	_ = irp
@@ -59,13 +63,13 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 	buildOpts.DisableGCWordElision = true
 	prog, _, err := Build(src, buildOpts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	entries := make([]int, len(entryNames))
 	for i, name := range entryNames {
 		entries[i] = prog.FuncByName(name)
 		if entries[i] < 0 {
-			return nil, fmt.Errorf("tasking: function %s not found after compilation", name)
+			return nil, nil, fmt.Errorf("tasking: function %s not found after compilation", name)
 		}
 	}
 
@@ -76,7 +80,7 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 	var h *heap.Heap
 	if opts.MarkSweep {
 		if opts.Strategy == gc.StratTagged {
-			return nil, fmt.Errorf("mark/sweep is implemented for the tag-free strategies")
+			return nil, nil, fmt.Errorf("mark/sweep is implemented for the tag-free strategies")
 		}
 		h = heap.NewMarkSweep(prog.Repr, semi)
 	} else {
@@ -84,7 +88,7 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 	}
 	if opts.NurseryWords > 0 {
 		if opts.Strategy == gc.StratTagged {
-			return nil, fmt.Errorf("the generational nursery requires a tag-free strategy")
+			return nil, nil, fmt.Errorf("the generational nursery requires a tag-free strategy")
 		}
 		promote := opts.PromoteAfter
 		if promote == 0 {
@@ -92,9 +96,9 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 		}
 		h.EnableNursery(opts.NurseryWords, promote)
 	}
-	group, err := tasking.NewGroupWith(prog, h, opts.Strategy, entries)
+	group, err := tasking.NewGroupWith(prog, h, opts.Strategy, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	group.Col.Parallelism = opts.Parallelism
 	group.Col.DisableFastPath = opts.DisableGCFastPath
@@ -106,11 +110,27 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 	group.GrowFactor = opts.GrowFactor
 	group.MaxHeapWords = opts.MaxHeapWords
 	group.TLABWords = opts.TLABWords
+	group.BudgetSteps = opts.BudgetSteps
+	group.BudgetAllocWords = opts.BudgetAllocWords
 	if opts.SuspendAtAllocs {
 		group.Policy = tasking.SuspendAtAllocs
 	}
 	if opts.MaxSteps > 0 {
 		group.MaxSteps = opts.MaxSteps
+	}
+	return group, entries, nil
+}
+
+// RunTasks compiles src for the tasking runtime and runs the named entry
+// functions as concurrent tasks over a shared heap. Every entry must be a
+// top-level function of type unit -> int.
+func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error) {
+	group, entries, err := BuildTaskGroup(src, entryNames, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		group.Spawn(e)
 	}
 	if err := group.RunInit(); err != nil {
 		return nil, err
@@ -119,6 +139,7 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 		return nil, err
 	}
 
+	prog := group.Prog
 	res := &TaskResult{
 		Stats:     group.Stats,
 		GCStats:   group.Col.Stats,

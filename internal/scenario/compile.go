@@ -7,6 +7,7 @@ import (
 	"tagfree/internal/gc"
 	"tagfree/internal/mlang/token"
 	"tagfree/internal/pipeline"
+	"tagfree/internal/serve"
 	"tagfree/internal/workloads"
 )
 
@@ -35,6 +36,12 @@ type Cell struct {
 	// Opts is the exact configuration RunMatrix passes to
 	// pipeline.RunTasks.
 	Opts pipeline.Options
+
+	// Serve, for arrival-bearing scenarios, is the open-loop serving plan
+	// (arrival schedule, admission control, retry policy, service mix);
+	// RunMatrix fills in Workload and Opts from the cell and runs the cell
+	// through serve.Run instead of pipeline.RunTasks.
+	Serve *serve.Config
 
 	// Skip is non-empty for combinations the runtime rejects by design
 	// (e.g. mark/sweep under the tagged baseline); the cell is reported,
@@ -66,10 +73,14 @@ func Compile(scs []*Scenario) ([]Cell, error) {
 				"tlab size %d words must be smaller than the nursery (%d words)", sc.TLABWords, sc.NurseryWords)
 		}
 		w.HeapWords = heapWords
+		srv, err := compileServe(sc, w)
+		if err != nil {
+			return nil, err
+		}
 		for _, strat := range sc.Strategies {
 			for _, disc := range sc.Disciplines {
 				for _, par := range sc.Par {
-					cells = append(cells, compileCell(sc, w, strat, disc, par))
+					cells = append(cells, compileCell(sc, w, srv, strat, disc, par))
 				}
 			}
 		}
@@ -77,8 +88,45 @@ func Compile(scs []*Scenario) ([]Cell, error) {
 	return cells, nil
 }
 
+// compileServe resolves an arrival-bearing scenario's serving plan,
+// validating the mix against the workload's entry functions. Workload and
+// Opts stay zero: they vary per cell, so the runner fills them in.
+func compileServe(sc *Scenario, w workloads.TaskWorkload) (*serve.Config, error) {
+	if sc.Arrivals == nil {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, e := range w.Entries {
+		known[e] = true
+	}
+	var mix []serve.MixEntry
+	for _, m := range sc.Mix {
+		if !known[m.Entry] {
+			return nil, sc.compileErrorf(m.Pos,
+				"mix entry %q is not an entry of workload %s (have %s)",
+				m.Entry, w.Name, strings.Join(w.Entries, ", "))
+		}
+		mix = append(mix, serve.MixEntry{Entry: m.Entry, Weight: m.Weight})
+	}
+	a := sc.Arrivals
+	return &serve.Config{
+		Mix:         mix,
+		Period:      a.Period,
+		Burst:       a.Burst,
+		Requests:    a.Requests,
+		Seed:        a.Seed,
+		QueueDepth:  a.Queue,
+		MaxInflight: a.Inflight,
+		ShedHeapPct: a.ShedHeapPct,
+		MaxRetries:  a.Retries,
+		Backoff:     a.Backoff,
+		BackoffCap:  a.BackoffCap,
+		Deadline:    a.Deadline,
+	}, nil
+}
+
 // compileCell resolves one (strategy, discipline, par) point.
-func compileCell(sc *Scenario, w workloads.TaskWorkload, strat gc.Strategy, disc Discipline, par int) Cell {
+func compileCell(sc *Scenario, w workloads.TaskWorkload, srv *serve.Config, strat gc.Strategy, disc Discipline, par int) Cell {
 	c := Cell{
 		Scenario:   sc.Name,
 		Name:       fmt.Sprintf("%s/%s/%s/par%d", sc.Name, strat, disc.Key(), par),
@@ -87,6 +135,7 @@ func compileCell(sc *Scenario, w workloads.TaskWorkload, strat gc.Strategy, disc
 		Discipline: disc,
 		Par:        par,
 		Repeats:    sc.Repeats,
+		Serve:      srv,
 		Opts: pipeline.Options{
 			Strategy:        strat,
 			HeapWords:       w.HeapWords,
@@ -103,6 +152,10 @@ func compileCell(sc *Scenario, w workloads.TaskWorkload, strat gc.Strategy, disc
 			GrowFactor:      sc.Faults.HeapGrow,
 			MaxHeapWords:    sc.Faults.HeapMax,
 		},
+	}
+	if sc.Arrivals != nil {
+		c.Opts.BudgetSteps = sc.Arrivals.BudgetSteps
+		c.Opts.BudgetAllocWords = sc.Arrivals.BudgetAlloc
 	}
 	// Combinations the runtime rejects by design become reported skips,
 	// so the matrix still covers every strategy × discipline cell.

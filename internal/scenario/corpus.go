@@ -15,45 +15,69 @@ import (
 // LoadPath parses a .tfs file, or every *.tfs file (sorted by name) in a
 // directory. Scenario names must be unique across the whole load. Errors
 // are prefixed with the offending file name; the wrapped error is the
-// parser's *PosError.
+// parser's *PosError. On a directory, the first failing file's error is
+// reported — callers that want the whole per-file summary (tfbench,
+// tfserve) use LoadPathAll.
 func LoadPath(path string) ([]*Scenario, error) {
+	scs, errs := LoadPathAll(path)
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return scs, nil
+}
+
+// LoadPathAll is LoadPath with per-file error accumulation: a failing
+// .tfs file contributes its (file-prefixed) error and the load continues
+// with the remaining files, so one broken scenario in a directory does
+// not hide the errors in — or the results of — the others. The returned
+// scenarios are everything that did load.
+func LoadPathAll(path string) ([]*Scenario, []error) {
 	info, err := os.Stat(path)
 	if err != nil {
-		return nil, err
+		return nil, []error{err}
 	}
 	files := []string{path}
 	if info.IsDir() {
 		files, err = filepath.Glob(filepath.Join(path, "*.tfs"))
 		if err != nil {
-			return nil, err
+			return nil, []error{err}
 		}
 		sort.Strings(files)
 		if len(files) == 0 {
-			return nil, fmt.Errorf("%s: no .tfs scenario files", path)
+			return nil, []error{fmt.Errorf("%s: no .tfs scenario files", path)}
 		}
 	}
 	var out []*Scenario
+	var errs []error
 	seen := map[string]string{} // scenario name -> file
 	for _, f := range files {
 		src, err := os.ReadFile(f)
 		if err != nil {
-			return nil, err
+			errs = append(errs, err)
+			continue
 		}
 		scs, err := Parse(string(src))
 		if err != nil {
-			return nil, fmt.Errorf("%s:%w", f, err)
+			errs = append(errs, fmt.Errorf("%s:%w", f, err))
+			continue
 		}
+		dup := false
 		for _, sc := range scs {
 			sc.File = f
-			if prev, dup := seen[sc.Name]; dup {
-				return nil, fmt.Errorf("%s:%w", f,
-					posErrorf(sc.Pos, "duplicate scenario name %q (also defined in %s)", sc.Name, prev))
+			if prev, isDup := seen[sc.Name]; isDup {
+				errs = append(errs, fmt.Errorf("%s:%w", f,
+					posErrorf(sc.Pos, "duplicate scenario name %q (also defined in %s)", sc.Name, prev)))
+				dup = true
+				break
 			}
 			seen[sc.Name] = f
 		}
+		if dup {
+			continue
+		}
 		out = append(out, scs...)
 	}
-	return out, nil
+	return out, errs
 }
 
 // FindCorpusDir returns the committed scenario corpus directory

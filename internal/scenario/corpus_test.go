@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestScenarioLoadPathAll pins the per-file error accumulation: one
+// broken .tfs file in a directory contributes its (file-prefixed,
+// positioned) error while the remaining files still load, and a file
+// that re-defines a scenario name is skipped whole rather than
+// half-loaded. LoadPath keeps its first-error contract on top.
+func TestScenarioLoadPathAll(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a-good.tfs", "scenario alpha { workload taskchurn }\n")
+	write("b-bad.tfs", "scenario broken {\n  workload\n}\n")
+	write("c-dup.tfs", "scenario alpha { workload taskchurn }\nscenario gamma { workload taskchurn }\n")
+	write("d-good.tfs", "scenario delta { workload taskchurn }\n")
+
+	scs, errs := LoadPathAll(dir)
+	var names []string
+	for _, sc := range scs {
+		names = append(names, sc.Name)
+	}
+	if got := strings.Join(names, " "); got != "alpha delta" {
+		t.Fatalf("loaded scenarios %q, want %q", got, "alpha delta")
+	}
+	if len(errs) != 2 {
+		t.Fatalf("want 2 errors, got %d: %v", len(errs), errs)
+	}
+	if !strings.Contains(errs[0].Error(), "b-bad.tfs") {
+		t.Errorf("parse error not file-prefixed: %v", errs[0])
+	}
+	if !strings.Contains(errs[1].Error(), "c-dup.tfs") ||
+		!strings.Contains(errs[1].Error(), `duplicate scenario name "alpha"`) {
+		t.Errorf("duplicate error misreported: %v", errs[1])
+	}
+
+	if _, err := LoadPath(dir); err == nil || !strings.Contains(err.Error(), "b-bad.tfs") {
+		t.Errorf("LoadPath should surface the first error, got: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tagfree/internal/pipeline"
+	"tagfree/internal/serve"
 )
 
 // The matrix runner: every compiled cell through pipeline.RunTasks, with
@@ -58,6 +59,11 @@ type CellResult struct {
 	GCPauseNS   int64 `json:"gc_pause_ns,omitempty"`
 	AllocWords  int64 `json:"alloc_words,omitempty"`
 	Records     int   `json:"records,omitempty"`
+
+	// Serve is set for arrival-bearing cells: the serve-harness report
+	// row (arrival/admission configuration, loss ledger, latency
+	// percentiles) for the cell's open-loop run.
+	Serve *serve.Report `json:"serve,omitempty"`
 }
 
 // Snapshot is the whole emitted report.
@@ -99,6 +105,9 @@ func runCell(c Cell) CellResult {
 	if c.Skip != "" {
 		return r
 	}
+	if c.Serve != nil {
+		return runServeCell(c, r)
+	}
 	var best *pipeline.TaskResult
 	bestNS := int64(1 << 62)
 	for i := 0; i < c.Repeats; i++ {
@@ -132,6 +141,44 @@ func runCell(c Cell) CellResult {
 	return r
 }
 
+// runServeCell executes one arrival-bearing cell through the serve
+// harness (best-of-repeats wall time; the virtual-time stats are
+// deterministic, so repeats only steady the wall clock). The cell is OK
+// when the loss ledger balances (serve.Run enforces it), every completed
+// request returned its expected value, and every fault is a planned one —
+// a deadline cancellation or a budget overrun, the ladder's own rungs;
+// only unplanned faults (OOM-ladder exhaustion, runtime errors) fail it.
+func runServeCell(c Cell, r CellResult) CellResult {
+	cfg := *c.Serve
+	cfg.Workload = c.Workload
+	cfg.Opts = c.Opts
+	var best *serve.Result
+	for i := 0; i < c.Repeats; i++ {
+		res, err := serve.Run(cfg)
+		if err != nil {
+			r.Error = err.Error()
+			return r
+		}
+		if best == nil || res.WallNS < best.WallNS {
+			best = res
+		}
+	}
+	rep := serve.NewReport(c.Name, cfg, best)
+	r.Serve = &rep
+	r.RunNS = best.WallNS
+	r.Collections = rep.Collections
+	r.AllocWords = best.Group.Heap.Stats.WordsAllocated
+	r.GCPauseNS = best.Group.Col.Stats.PauseNS
+	r.Records = len(best.Group.Col.Telem.Records)
+	r.Faulted = int(best.Stats.Faulted)
+	// Telemetry's BudgetFaults counts cancellations too; the difference is
+	// the budget overruns among Stats.Faulted, and anything beyond those
+	// is an unplanned fault.
+	overruns := rep.BudgetFaults - best.Stats.Canceled
+	r.OK = best.Stats.WrongResults == 0 && best.Stats.Faulted <= overruns
+	return r
+}
+
 // Table renders the snapshot as an aligned comparative table, one row per
 // cell, grouped the way the cells were compiled (scenario order,
 // strategies varying slowest).
@@ -153,6 +200,11 @@ func (s *Snapshot) Table() string {
 			} else {
 				note = "wrong result"
 			}
+		}
+		if r.Serve != nil && note == "" {
+			s := r.Serve.Stats
+			note = fmt.Sprintf("serve: done=%d shed=%d drop=%d cancel=%d p99=%d",
+				s.Completed, s.Shed, s.Dropped, s.Canceled, r.Serve.LatencyP99)
 		}
 		gcs, pause, alloc, wall := "-", "-", "-", "-"
 		if r.Skip == "" && r.Error == "" {

@@ -121,6 +121,9 @@ func (p *parser) parseScenario() (*Scenario, error) {
 	if sc.Workload == "" {
 		return nil, posErrorf(sc.Pos, "scenario %q missing required key \"workload\"", sc.Name)
 	}
+	if len(sc.Mix) > 0 && sc.Arrivals == nil {
+		return nil, posErrorf(sc.keyPos["mix"], "mix requires an arrivals block (closed-loop runs use the whole corpus)")
+	}
 	// Unset axes default to the full comparative shape on the strategy
 	// axis and the minimal one elsewhere.
 	if len(sc.Strategies) == 0 {
@@ -137,7 +140,7 @@ func (p *parser) parseScenario() (*Scenario, error) {
 	return sc, nil
 }
 
-const scenarioKeys = "workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, faults"
+const scenarioKeys = "workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, faults, arrivals, mix"
 
 // parseStmt parses one `key values` statement inside a scenario body.
 func (p *parser) parseStmt(sc *Scenario) error {
@@ -264,6 +267,10 @@ func (p *parser) parseStmt(sc *Scenario) error {
 		sc.TLABWords = n
 	case "faults":
 		return p.parseFaults(sc)
+	case "arrivals":
+		return p.parseArrivals(sc, keyPos)
+	case "mix":
+		return p.parseMix(sc)
 	default:
 		return posErrorf(keyPos, "unknown scenario key %q (have %s)", key, scenarioKeys)
 	}
@@ -345,6 +352,161 @@ func (p *parser) parseFaults(sc *Scenario) error {
 			return posErrorf(keyPos, "unknown faults key %q (have %s)", key, faultKeys)
 		}
 		if err := p.expectEndOfLine(key); err != nil {
+			return err
+		}
+	}
+}
+
+const arrivalsKeys = "period, burst, requests, seed, queue, inflight, shed-heap, retries, backoff, backoff-cap, deadline, budget-steps, budget-alloc"
+
+// parseArrivals parses the `arrivals { ... }` block — the open-loop
+// serving plan. period and requests are required; everything else
+// defaults like the tfserve flags.
+func (p *parser) parseArrivals(sc *Scenario, blockPos token.Pos) error {
+	if p.tok.Kind != LBRACE {
+		return p.fail("expected { after arrivals, found %s", p.describe())
+	}
+	p.advance()
+	a := &ArrivalsBlock{}
+	seen := map[string]token.Pos{}
+	for {
+		p.skipNewlines()
+		if p.tok.Kind == RBRACE {
+			p.advance()
+			if a.Period == 0 {
+				return posErrorf(blockPos, "arrivals block missing required key \"period\"")
+			}
+			if a.Requests == 0 {
+				return posErrorf(blockPos, "arrivals block missing required key \"requests\"")
+			}
+			sc.Arrivals = a
+			return p.expectEndOfLine("arrivals block")
+		}
+		if p.tok.Kind != IDENT {
+			return p.fail("expected arrivals key, found %s", p.describe())
+		}
+		key, keyPos := p.tok.Text, p.tok.Pos
+		if prev, dup := seen[key]; dup {
+			return posErrorf(keyPos, "duplicate key %q (first set at %s)", key, prev)
+		}
+		seen[key] = keyPos
+		p.advance()
+		n, pos, err := p.intArgAt(key)
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "period":
+			if n < 1 || n > maxPeriod {
+				return posErrorf(pos, "period %d out of range (1..%d)", n, maxPeriod)
+			}
+			a.Period = int64(n)
+		case "burst":
+			if n < 1 || n > maxBurst {
+				return posErrorf(pos, "burst %d out of range (1..%d)", n, maxBurst)
+			}
+			a.Burst = n
+		case "requests":
+			if n < 1 || n > maxRequests {
+				return posErrorf(pos, "requests %d out of range (1..%d)", n, maxRequests)
+			}
+			a.Requests = n
+		case "seed":
+			if n < 0 {
+				return posErrorf(pos, "seed %d out of range (must not be negative)", n)
+			}
+			a.Seed = int64(n)
+		case "queue":
+			if n < 1 || n > maxQueue {
+				return posErrorf(pos, "queue depth %d out of range (1..%d)", n, maxQueue)
+			}
+			a.Queue = n
+		case "inflight":
+			if n < 1 || n > maxInflight {
+				return posErrorf(pos, "inflight %d out of range (1..%d)", n, maxInflight)
+			}
+			a.Inflight = n
+		case "shed-heap":
+			if n < 1 || n > 100 {
+				return posErrorf(pos, "shed-heap %d out of range (1..100 percent)", n)
+			}
+			a.ShedHeapPct = n
+		case "retries":
+			if n < 0 || n > maxRetries {
+				return posErrorf(pos, "retries %d out of range (0..%d)", n, maxRetries)
+			}
+			a.Retries = n
+		case "backoff":
+			if n < 1 || n > maxPeriod {
+				return posErrorf(pos, "backoff %d out of range (1..%d)", n, maxPeriod)
+			}
+			a.Backoff = int64(n)
+		case "backoff-cap":
+			if n < 1 || n > maxPeriod {
+				return posErrorf(pos, "backoff-cap %d out of range (1..%d)", n, maxPeriod)
+			}
+			a.BackoffCap = int64(n)
+		case "deadline":
+			if n < 1 || int64(n) > maxBudget {
+				return posErrorf(pos, "deadline %d out of range (1..%d)", n, maxBudget)
+			}
+			a.Deadline = int64(n)
+		case "budget-steps":
+			if n < 1 || int64(n) > maxBudget {
+				return posErrorf(pos, "budget-steps %d out of range (1..%d)", n, maxBudget)
+			}
+			a.BudgetSteps = int64(n)
+		case "budget-alloc":
+			if n < 1 || int64(n) > maxBudget {
+				return posErrorf(pos, "budget-alloc %d out of range (1..%d)", n, maxBudget)
+			}
+			a.BudgetAlloc = int64(n)
+		default:
+			return posErrorf(keyPos, "unknown arrivals key %q (have %s)", key, arrivalsKeys)
+		}
+		if err := p.expectEndOfLine(key); err != nil {
+			return err
+		}
+	}
+}
+
+// parseMix parses the `mix { <entry> <weight> ... }` block: the weighted
+// service mix arrivals sample from. Entry names are validated against the
+// workload at compile time (the workload may come from another key that
+// has not parsed yet).
+func (p *parser) parseMix(sc *Scenario) error {
+	if p.tok.Kind != LBRACE {
+		return p.fail("expected { after mix, found %s", p.describe())
+	}
+	p.advance()
+	seen := map[string]token.Pos{}
+	for {
+		p.skipNewlines()
+		if p.tok.Kind == RBRACE {
+			p.advance()
+			if len(sc.Mix) == 0 {
+				return posErrorf(sc.keyPos["mix"], "mix block needs at least one entry")
+			}
+			return p.expectEndOfLine("mix block")
+		}
+		if p.tok.Kind != IDENT {
+			return p.fail("expected mix entry name, found %s", p.describe())
+		}
+		entry, entryPos := p.tok.Text, p.tok.Pos
+		if prev, dup := seen[entry]; dup {
+			return posErrorf(entryPos, "duplicate mix entry %q (first set at %s)", entry, prev)
+		}
+		seen[entry] = entryPos
+		p.advance()
+		n, pos, err := p.intArgAt("mix weight")
+		if err != nil {
+			return err
+		}
+		if n < 1 || n > maxMixWeight {
+			return posErrorf(pos, "mix weight %d out of range (1..%d)", n, maxMixWeight)
+		}
+		sc.Mix = append(sc.Mix, MixItem{Entry: entry, Weight: n, Pos: entryPos})
+		if err := p.expectEndOfLine(entry); err != nil {
 			return err
 		}
 	}

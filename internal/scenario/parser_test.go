@@ -97,7 +97,7 @@ func TestScenarioDiagnosticsGolden(t *testing.T) {
 		{
 			name: "unknown key",
 			src:  "scenario x {\n  workload taskchurn\n  wrkload taskchurn\n}\n",
-			want: `3:3: unknown scenario key "wrkload" (have workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, faults)`,
+			want: `3:3: unknown scenario key "wrkload" (have workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, faults, arrivals, mix)`,
 		},
 		{
 			name: "bad strategy name",
@@ -206,7 +206,7 @@ func TestScenarioCompileDiagnostics(t *testing.T) {
 		{
 			name: "unknown workload",
 			src:  "scenario x {\n  workload nosuch\n}\n",
-			want: `2:3: unknown task workload "nosuch" (have taskchurn, tasktree, taskpoly, taskmutate, taskdeep)`,
+			want: `2:3: unknown task workload "nosuch" (have taskchurn, tasktree, taskpoly, taskmutate, taskdeep, taskserve)`,
 		},
 		{
 			name: "tlab at least heap",

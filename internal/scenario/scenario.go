@@ -78,10 +78,53 @@ type Scenario struct {
 	// Faults is the fault-injection plan applied to every cell.
 	Faults FaultBlock
 
+	// Arrivals, when present, turns every cell into a serve-harness run
+	// (open-loop arrivals, bounded admission, the degradation ladder)
+	// instead of a closed-loop corpus run; Mix is its weighted service
+	// mix over the workload's entry functions.
+	Arrivals *ArrivalsBlock
+	Mix      []MixItem
+
 	// keyPos remembers where each key appeared, so compile-time
 	// diagnostics (unknown workload, tlab larger than the heap) can point
 	// at source like parse-time ones.
 	keyPos map[string]token.Pos
+}
+
+// ArrivalsBlock is the scenario's open-loop arrival and admission plan —
+// the DSL form of the tfserve flags (serve.Config). Period and requests
+// are required; zero-valued knobs take the serve defaults (queue 16,
+// inflight 8, burst 1, backoff = period).
+type ArrivalsBlock struct {
+	// Burst requests arrive every Period steps until Requests have been
+	// issued; Seed drives mix sampling and retry jitter.
+	Period   int64
+	Burst    int
+	Requests int
+	Seed     int64
+	// Queue bounds the admission queue, Inflight the concurrently running
+	// requests; ShedHeapPct > 0 sheds arrivals at that heap occupancy.
+	Queue       int
+	Inflight    int
+	ShedHeapPct int
+	// Retries/Backoff/BackoffCap are the shed client's retry policy.
+	Retries    int
+	Backoff    int64
+	BackoffCap int64
+	// Deadline > 0 cancels admitted requests running longer than this.
+	Deadline int64
+	// BudgetSteps/BudgetAlloc are the per-task budgets (pipeline.Options).
+	BudgetSteps int64
+	BudgetAlloc int64
+}
+
+// MixItem weights one service class of the arrival mix. Pos points at the
+// entry name so Compile can reject entries the workload lacks with a
+// positioned diagnostic.
+type MixItem struct {
+	Entry  string
+	Weight int
+	Pos    token.Pos
 }
 
 // FaultBlock is the scenario's fault-injection plan — the DSL form of the
@@ -143,7 +186,22 @@ const (
 	maxRepeats   = 100
 	maxPromote   = 64
 	maxHeapGrow  = 16.0
+
+	// The arrivals{} ranges. Steps are virtual time, so the upper bounds
+	// only guard against typo'd magnitudes; budgets get the widest range
+	// (a quota of billions of steps is a legitimate "effectively off").
+	maxPeriod    = 1 << 30
+	maxBurst     = 1 << 10
+	maxRequests  = 1 << 20
+	maxQueue     = 1 << 16
+	maxInflight  = 1 << 10
+	maxRetries   = 64
+	maxMixWeight = 1 << 20
 )
+
+// maxBudget bounds the per-task budget and deadline values (compared as
+// int64 so the constant stays portable).
+const maxBudget = int64(1) << 40
 
 // strategyNames maps DSL spellings to strategies, in presentation order.
 var strategyNames = []struct {

@@ -1,0 +1,492 @@
+// Package serve is the overload-resilience harness: an open-loop
+// request generator over the tasking runtime. Requests arrive on a fixed
+// virtual-time schedule (arrival period, burst size, heavy-tail service
+// mix over a workload's entry functions), pass through a bounded
+// admission queue, and run as tasks of one shared-heap group. When demand
+// exceeds capacity the harness degrades instead of failing globally:
+//
+//	rung 1 — shed new arrivals when the queue is full or heap occupancy
+//	         crosses the watermark; shed clients retry with capped
+//	         exponential backoff plus deterministic jitter;
+//	rung 2 — on an occupancy shed, request a major/tenure-all collection
+//	         from the group (consumed at the next stop-the-world cycle);
+//	rung 3 — cancel admitted requests that outlive their deadline with a
+//	         BudgetExceeded task fault (per-task step and allocation-word
+//	         budgets in pipeline.Options compose with this).
+//
+// All scheduling and latency accounting is in virtual time (scheduler
+// steps), so a run is bit-for-bit deterministic for a given seed; wall
+// time appears only in throughput reporting. With Period == 0 the harness
+// degenerates to the closed-loop corpus run tfbench performs — the
+// differential suite pins that mode bit-identical to pipeline.RunTasks.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tagfree/internal/code"
+	"tagfree/internal/pipeline"
+	"tagfree/internal/tasking"
+	"tagfree/internal/workloads"
+)
+
+// MixEntry weights one service class of the mix.
+type MixEntry struct {
+	Entry  string
+	Weight int
+}
+
+// Config describes one serve run.
+type Config struct {
+	// Workload supplies the program, its entry functions, and their
+	// expected results. Every Mix entry must name one of its Entries.
+	Workload workloads.TaskWorkload
+	// Mix is the weighted service-class mix requests sample from. Empty
+	// means uniform over the workload's entries.
+	Mix []MixEntry
+	// Opts carries the heap/strategy/budget knobs (HeapWords, MarkSweep,
+	// NurseryWords, TLABWords, BudgetSteps, BudgetAllocWords, faults...).
+	Opts pipeline.Options
+
+	// Open-loop arrival schedule, in virtual-time steps: Burst requests
+	// arrive every Period steps until Requests have been issued.
+	// Period == 0 selects closed-loop mode: the workload's entries are
+	// spawned once, up front, exactly as tfbench runs the corpus.
+	Period   int64
+	Burst    int
+	Requests int
+	// Seed drives mix sampling and retry jitter (deterministic PRNG).
+	Seed int64
+
+	// Admission control (rung 1). QueueDepth bounds the admission queue
+	// (default 16); MaxInflight bounds concurrently running requests
+	// (default 8); ShedHeapPct > 0 sheds arrivals while heap occupancy is
+	// at or above this percentage of the semispace.
+	QueueDepth  int
+	MaxInflight int
+	ShedHeapPct int
+
+	// Client retry policy for shed requests: up to MaxRetries attempts,
+	// backoff doubling from Backoff up to BackoffCap, plus jitter in
+	// [0, backoff/2]. Backoff defaults to Period (or 512 steps).
+	MaxRetries int
+	Backoff    int64
+	BackoffCap int64
+
+	// Deadline > 0 cancels an admitted request still running after this
+	// many steps (rung 3); the task faults with BudgetExceeded.
+	Deadline int64
+}
+
+// Stats are the harness counters; every issued request resolves into
+// exactly one of Completed, Dropped, Canceled, or Faulted.
+type Stats struct {
+	Requests     int64 `json:"requests"`
+	Arrivals     int64 `json:"arrivals"` // admission attempts incl. retries
+	Admitted     int64 `json:"admitted"`
+	Completed    int64 `json:"completed"`
+	Shed         int64 `json:"shed,omitempty"`         // shed events (queue or heap watermark)
+	ShedHeap     int64 `json:"shed_heap,omitempty"`    // the subset shed on heap occupancy
+	Retries      int64 `json:"retries,omitempty"`      // sheds that rescheduled
+	Dropped      int64 `json:"dropped,omitempty"`      // gave up after MaxRetries
+	Canceled     int64 `json:"canceled,omitempty"`     // deadline cancellations (rung 3)
+	Faulted      int64 `json:"faulted,omitempty"`      // other task faults (OOM ladder, budgets, runtime)
+	WrongResults int64 `json:"wrong_results,omitempty"`
+	ForcedMajors int64 `json:"forced_majors,omitempty"` // rung-2 escalations
+}
+
+// Result is one finished serve run.
+type Result struct {
+	Stats Stats
+	// Latencies holds one sample per completed request: completion step
+	// minus first-arrival step (queueing, retries, and collection pauses
+	// included), ascending-sorted.
+	Latencies []int64
+	// Steps is the final virtual time; WallNS the wall-clock run time.
+	Steps  int64
+	WallNS int64
+	// Values holds, in closed-loop mode, each entry's decoded result in
+	// workload order — the differential pin against pipeline.RunTasks.
+	Values []int64
+	// Group exposes the finished task group (live-heap signatures,
+	// telemetry) for the differential suite and reporting.
+	Group *tasking.Group
+}
+
+// request is one client request's lifecycle.
+type request struct {
+	id       int
+	entry    string
+	fidx     int
+	expect   int64
+	arriveAt int64 // next arrival or retry time
+	first    int64 // first arrival (latency epoch)
+	attempts int   // shed count so far
+	admitted int64
+	task     *tasking.Task
+	canceled bool
+}
+
+// driver holds the open-loop run state threaded through the Tick hook.
+type driver struct {
+	cfg      Config
+	g        *tasking.Group
+	rng      *rand.Rand
+	waiting  []*request // issued, not yet admitted (future arrivals + backoffs)
+	queue    []*request // admitted queue
+	inflight []*request
+	resolved    int
+	total       int
+	stats       *Stats
+	lats        []int64
+	majorReq    bool // rung-2 latch, cleared when occupancy drops
+	seenRecords int  // telemetry records consumed by peakUsed
+}
+
+// Run executes the configured serve run.
+func Run(cfg Config) (*Result, error) {
+	mix, err := resolveMix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	group, entries, err := pipeline.BuildTaskGroup(cfg.Workload.Source, cfg.Workload.Entries, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	fidx := map[string]int{}
+	expect := map[string]int64{}
+	for i, name := range cfg.Workload.Entries {
+		fidx[name] = entries[i]
+		if i < len(cfg.Workload.Expect) {
+			expect[name] = cfg.Workload.Expect[i]
+		}
+	}
+
+	res := &Result{Group: group}
+	start := time.Now()
+	if cfg.Period == 0 {
+		err = runClosedLoop(cfg, group, entries, res)
+	} else {
+		err = runOpenLoop(cfg, group, mix, fidx, expect, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.WallNS = time.Since(start).Nanoseconds()
+	res.Steps = group.Now()
+	sort.Slice(res.Latencies, func(i, j int) bool { return res.Latencies[i] < res.Latencies[j] })
+
+	// The zero-global-failure ledger: every issued request must be
+	// accounted exactly once. A mismatch is a harness bug, not a report row.
+	s := res.Stats
+	if s.Completed+s.Dropped+s.Canceled+s.Faulted != s.Requests {
+		return nil, fmt.Errorf("serve: %d requests but %d accounted (completed=%d dropped=%d canceled=%d faulted=%d)",
+			s.Requests, s.Completed+s.Dropped+s.Canceled+s.Faulted,
+			s.Completed, s.Dropped, s.Canceled, s.Faulted)
+	}
+	return res, nil
+}
+
+// runClosedLoop reproduces the tfbench corpus run: one task per workload
+// entry, all spawned up front, no admission control. A Tick hook observes
+// completion times but mutates nothing, so execution is bit-identical to
+// pipeline.RunTasks.
+func runClosedLoop(cfg Config, g *tasking.Group, entries []int, res *Result) error {
+	var reqs []*request
+	for i, e := range entries {
+		t := g.Spawn(e)
+		reqs = append(reqs, &request{id: i, task: t})
+		res.Stats.Requests++
+		res.Stats.Arrivals++
+		res.Stats.Admitted++
+	}
+	done := 0
+	g.Tick = func(now int64) bool {
+		for _, r := range reqs {
+			if r.task == nil {
+				continue
+			}
+			switch r.task.Status {
+			case tasking.Done:
+				res.Latencies = append(res.Latencies, now-r.first)
+				res.Stats.Completed++
+			case tasking.Faulted:
+				res.Stats.Faulted++
+			default:
+				continue
+			}
+			r.task = nil
+			done++
+		}
+		return done < len(reqs)
+	}
+	if err := g.RunInit(); err != nil {
+		return err
+	}
+	if err := g.Run(); err != nil {
+		return err
+	}
+	g.Tick = nil
+	for i, t := range g.Tasks {
+		if t.Status == tasking.Faulted {
+			res.Values = append(res.Values, 0)
+			continue
+		}
+		res.Values = append(res.Values, code.DecodeInt(g.Prog.Repr, t.Result))
+		if i < len(cfg.Workload.Expect) && res.Values[i] != cfg.Workload.Expect[i] {
+			res.Stats.WrongResults++
+		}
+	}
+	return nil
+}
+
+// runOpenLoop drives the arrival schedule through the Tick hook.
+func runOpenLoop(cfg Config, g *tasking.Group, mix []MixEntry, fidx map[string]int, expect map[string]int64, res *Result) error {
+	d := &driver{
+		cfg:   withDefaults(cfg),
+		g:     g,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		total: cfg.Requests,
+		stats: &res.Stats,
+	}
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		pick := d.rng.Intn(total)
+		entry := mix[len(mix)-1].Entry
+		for _, m := range mix {
+			if pick < m.Weight {
+				entry = m.Entry
+				break
+			}
+			pick -= m.Weight
+		}
+		at := int64(i/d.cfg.Burst) * cfg.Period
+		d.waiting = append(d.waiting, &request{
+			id: i, entry: entry, fidx: fidx[entry], expect: expect[entry],
+			arriveAt: at, first: at,
+		})
+		res.Stats.Requests++
+	}
+	g.Tick = d.tick
+	if err := g.RunInit(); err != nil {
+		return err
+	}
+	if err := g.Run(); err != nil {
+		return err
+	}
+	g.Tick = nil
+	res.Latencies = d.lats
+	return nil
+}
+
+// withDefaults fills the zero-value admission knobs.
+func withDefaults(cfg Config) Config {
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 8
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 1
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = cfg.Period
+		if cfg.Backoff == 0 {
+			cfg.Backoff = 512
+		}
+	}
+	if cfg.BackoffCap == 0 {
+		cfg.BackoffCap = 64 * cfg.Backoff
+	}
+	return cfg
+}
+
+// tick is the supervisor hook: called by the scheduler between rounds,
+// never during a pending collection. Order matters for determinism:
+// deadline cancels, completion accounting, arrivals/shedding, admission.
+func (d *driver) tick(now int64) bool {
+	if d.cfg.Deadline > 0 {
+		for _, r := range d.inflight {
+			if !r.canceled && now-r.admitted > d.cfg.Deadline &&
+				d.g.CancelTask(r.task, fmt.Errorf("deadline exceeded: %d steps admitted, limit %d", now-r.admitted, d.cfg.Deadline)) {
+				r.canceled = true
+			}
+		}
+	}
+
+	keep := d.inflight[:0]
+	for _, r := range d.inflight {
+		switch r.task.Status {
+		case tasking.Done:
+			d.lats = append(d.lats, now-r.first)
+			d.stats.Completed++
+			if code.DecodeInt(d.g.Prog.Repr, r.task.Result) != r.expect {
+				d.stats.WrongResults++
+			}
+			d.resolved++
+		case tasking.Faulted:
+			if r.canceled {
+				d.stats.Canceled++
+			} else {
+				d.stats.Faulted++
+			}
+			d.resolved++
+		default:
+			keep = append(keep, r)
+		}
+	}
+	d.inflight = keep
+
+	// Arrivals due now, in deterministic (time, id) order.
+	var due []*request
+	wait := d.waiting[:0]
+	for _, r := range d.waiting {
+		if r.arriveAt <= now {
+			due = append(due, r)
+		} else {
+			wait = append(wait, r)
+		}
+	}
+	d.waiting = wait
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].arriveAt != due[j].arriveAt {
+			return due[i].arriveAt < due[j].arriveAt
+		}
+		return due[i].id < due[j].id
+	})
+	heapPressure := false
+	if d.cfg.ShedHeapPct > 0 {
+		heapPressure = 100*d.peakUsed()/d.capacity() >= d.cfg.ShedHeapPct
+		if !heapPressure {
+			d.majorReq = false // occupancy back under the watermark; re-arm rung 2
+		}
+	}
+	for _, r := range due {
+		d.stats.Arrivals++
+		if reason := d.shedReason(heapPressure); reason != "" {
+			d.shed(r, now, reason)
+			continue
+		}
+		d.queue = append(d.queue, r)
+	}
+
+	for len(d.queue) > 0 && len(d.inflight) < d.cfg.MaxInflight {
+		r := d.queue[0]
+		d.queue = d.queue[1:]
+		r.task = d.g.Spawn(r.fidx)
+		r.admitted = now
+		d.stats.Admitted++
+		d.inflight = append(d.inflight, r)
+	}
+
+	return d.resolved < d.total
+}
+
+// shedReason reports why a new arrival cannot be admitted ("" = admit).
+// The heap watermark (computed once per tick by the caller) is judged
+// before queue depth: occupancy pressure is the severer signal (it
+// escalates to rung 2), so it must not be masked by a full queue.
+func (d *driver) shedReason(heapPressure bool) string {
+	if heapPressure {
+		return "heap"
+	}
+	if len(d.queue) >= d.cfg.QueueDepth {
+		return "queue"
+	}
+	return ""
+}
+
+// capacity is the total allocatable space: the semispace plus, with a
+// nursery, the young half (minors promote its occupancy into the old
+// region, so it counts as pressure).
+func (d *driver) capacity() int {
+	c := d.g.Heap.SemiWords()
+	if d.g.Heap.NurseryEnabled() {
+		c += d.g.Heap.YoungWords()
+	}
+	return c
+}
+
+// peakUsed is the high-water heap occupancy since the last admission
+// decision. Ticks run at round boundaries, so the instantaneous reading
+// systematically misses the sawtooth peak a collection just reset; any
+// collection since the previous reading proves the heap reached its
+// recorded UsedBefore words in between.
+func (d *driver) peakUsed() int {
+	used := d.g.Heap.Used()
+	if d.g.Heap.NurseryEnabled() {
+		used += d.g.Heap.YoungUsed()
+	}
+	recs := d.g.Col.Telem.Records
+	for _, r := range recs[d.seenRecords:] {
+		if int(r.UsedBefore) > used {
+			used = int(r.UsedBefore)
+		}
+	}
+	d.seenRecords = len(recs)
+	return used
+}
+
+// shed records one shed event and either schedules the client's retry or
+// drops the request for good.
+func (d *driver) shed(r *request, now int64, reason string) {
+	d.stats.Shed++
+	if reason == "heap" {
+		d.stats.ShedHeap++
+		if !d.majorReq {
+			// Rung 2: ask the group for a major/tenure-all cycle at its next
+			// stop-the-world collection, once per watermark excursion.
+			d.g.RequestMajor()
+			d.majorReq = true
+			d.stats.ForcedMajors++
+		}
+	}
+	if r.attempts >= d.cfg.MaxRetries {
+		d.stats.Dropped++
+		d.resolved++
+		return
+	}
+	r.attempts++
+	backoff := d.cfg.Backoff << (r.attempts - 1)
+	if backoff > d.cfg.BackoffCap {
+		backoff = d.cfg.BackoffCap
+	}
+	backoff += d.rng.Int63n(backoff/2 + 1) // jitter de-synchronizes retry herds
+	r.arriveAt = now + backoff
+	d.stats.Retries++
+	d.waiting = append(d.waiting, r)
+}
+
+// resolveMix validates the service mix (defaulting to uniform over the
+// workload's entries) against the workload.
+func resolveMix(cfg Config) ([]MixEntry, error) {
+	known := map[string]bool{}
+	for _, e := range cfg.Workload.Entries {
+		known[e] = true
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		for _, e := range cfg.Workload.Entries {
+			mix = append(mix, MixEntry{Entry: e, Weight: 1})
+		}
+	}
+	for _, m := range mix {
+		if !known[m.Entry] {
+			return nil, fmt.Errorf("serve: mix entry %q is not an entry of workload %s", m.Entry, cfg.Workload.Name)
+		}
+		if m.Weight <= 0 {
+			return nil, fmt.Errorf("serve: mix entry %q has non-positive weight %d", m.Entry, m.Weight)
+		}
+	}
+	if cfg.Period > 0 && cfg.Requests <= 0 {
+		return nil, fmt.Errorf("serve: open-loop mode needs Requests > 0")
+	}
+	return mix, nil
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"tagfree/internal/gc"
+	"tagfree/internal/pipeline"
+	"tagfree/internal/workloads"
+)
+
+// The serve differential pins. Closed-loop mode must be bit-identical to
+// pipeline.RunTasks over the whole corpus (values, live-heap signature,
+// telemetry record count) — the harness adds observation, not behavior.
+// Open-loop mode at twice the sustainable arrival rate must finish with
+// zero global failures: every issued request accounted as completed,
+// dropped (after shed+retry), canceled (deadline), or faulted, and every
+// completed request returning its expected value.
+
+func TestClosedLoopMatchesRunTasks(t *testing.T) {
+	for _, w := range workloads.Tasking {
+		for _, ms := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/ms=%v", w.Name, ms), func(t *testing.T) {
+				opts := pipeline.Options{
+					Strategy:  gc.StratCompiled,
+					HeapWords: w.HeapWords,
+					MarkSweep: ms,
+				}
+				bench, err := pipeline.RunTasks(w.Source, w.Entries, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(Config{Workload: w, Opts: opts})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(res.Values) != fmt.Sprint(bench.Values) {
+					t.Fatalf("values diverge: serve %v, bench %v", res.Values, bench.Values)
+				}
+				if res.Stats.Completed != int64(len(w.Entries)) || res.Stats.Faulted != 0 {
+					t.Fatalf("closed loop did not complete cleanly: %+v", res.Stats)
+				}
+				sSig := fmt.Sprint(res.Group.Col.LiveSignature(res.Group.Globals))
+				bSig := fmt.Sprint(bench.Group.Col.LiveSignature(bench.Group.Globals))
+				if sSig != bSig {
+					t.Fatal("live-heap signature diverges from pipeline.RunTasks")
+				}
+				if len(res.Group.Col.Telem.Records) != len(bench.Telemetry.Records) {
+					t.Fatalf("collection record counts diverge: serve %d, bench %d",
+						len(res.Group.Col.Telem.Records), len(bench.Telemetry.Records))
+				}
+			})
+		}
+	}
+}
+
+// serveWorkload returns the taskserve corpus entry.
+func serveWorkload(t *testing.T) workloads.TaskWorkload {
+	t.Helper()
+	w, ok := workloads.TaskByName("taskserve")
+	if !ok {
+		t.Fatal("taskserve workload missing")
+	}
+	return w
+}
+
+// sustainablePeriod estimates the arrival period that matches service
+// capacity: the closed-loop run's virtual length is the whole corpus's
+// service demand, so demand per request divided by the server count is
+// the break-even inter-arrival time.
+func sustainablePeriod(t *testing.T, w workloads.TaskWorkload, opts pipeline.Options, inflight int) int64 {
+	t.Helper()
+	res, err := Run(Config{Workload: w, Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perReq := res.Steps / int64(len(w.Entries))
+	return perReq / int64(inflight)
+}
+
+func TestOverloadTwiceSustainableAccountsEveryLoss(t *testing.T) {
+	w := serveWorkload(t)
+	opts := pipeline.Options{
+		Strategy:    gc.StratCompiled,
+		HeapWords:   w.HeapWords,
+		BudgetSteps: 2_000_000,
+	}
+	inflight := 4
+	period := sustainablePeriod(t, w, opts, inflight) / 2 // 2x the sustainable rate
+	if period < 1 {
+		period = 1
+	}
+	cfg := Config{
+		Workload:    w,
+		Mix:         []MixEntry{{"req_tiny", 6}, {"req_small", 3}, {"req_medium", 2}, {"req_heavy", 1}},
+		Opts:        opts,
+		Period:      period,
+		Burst:       2,
+		Requests:    200,
+		Seed:        7,
+		QueueDepth:  8,
+		MaxInflight: inflight,
+		ShedHeapPct: 85,
+		MaxRetries:  3,
+		Deadline:    400_000,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Completed == 0 {
+		t.Fatalf("overload run completed nothing: %+v", s)
+	}
+	if s.Shed == 0 || s.Retries == 0 {
+		t.Fatalf("2x overload never shed/retried: %+v", s)
+	}
+	if s.WrongResults != 0 {
+		t.Fatalf("%d completed requests returned wrong values", s.WrongResults)
+	}
+	// The ledger (also enforced inside Run): nothing vanished.
+	if s.Completed+s.Dropped+s.Canceled+s.Faulted != s.Requests {
+		t.Fatalf("loss unaccounted: %+v", s)
+	}
+	rep := NewReport("overload", cfg, res)
+	if rep.LatencyP50 <= 0 || rep.LatencyP999 < rep.LatencyP99 || rep.LatencyP99 < rep.LatencyP50 {
+		t.Fatalf("latency percentiles not ordered: %+v", rep)
+	}
+}
+
+func TestServeDeterminism(t *testing.T) {
+	w := serveWorkload(t)
+	cfg := Config{
+		Workload:    w,
+		Opts:        pipeline.Options{Strategy: gc.StratCompiled, HeapWords: w.HeapWords},
+		Period:      300,
+		Burst:       2,
+		Requests:    60,
+		Seed:        11,
+		QueueDepth:  4,
+		MaxInflight: 2,
+		MaxRetries:  2,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverge across identical runs:\n  a %+v\n  b %+v", a.Stats, b.Stats)
+	}
+	if fmt.Sprint(a.Latencies) != fmt.Sprint(b.Latencies) {
+		t.Fatal("latency samples diverge across identical runs")
+	}
+	if a.Steps != b.Steps {
+		t.Fatalf("virtual run length diverges: %d vs %d", a.Steps, b.Steps)
+	}
+}
+
+// TestDegradationLadderEscalates drives the heap-occupancy rung: a small
+// nursery heap with an aggressive watermark must shed on occupancy and
+// request tenure-all majors, and deadline cancellation must surface as
+// BudgetExceeded faults — all without a global failure.
+func TestDegradationLadderEscalates(t *testing.T) {
+	w := serveWorkload(t)
+	cfg := Config{
+		Workload: w,
+		Mix:      []MixEntry{{"req_medium", 1}, {"req_heavy", 1}},
+		Opts: pipeline.Options{
+			Strategy:     gc.StratCompiled,
+			HeapWords:    w.HeapWords,
+			NurseryWords: 256,
+		},
+		Period:      150,
+		Burst:       2,
+		Requests:    80,
+		Seed:        3,
+		QueueDepth:  64, // deep queue: occupancy, not depth, is the watermark under test
+		MaxInflight: 4,
+		ShedHeapPct: 10,
+		MaxRetries:  2,
+		Deadline:    60_000,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.ShedHeap == 0 || s.ForcedMajors == 0 {
+		t.Fatalf("occupancy rung never fired: %+v", s)
+	}
+	if s.Canceled == 0 {
+		t.Fatalf("deadline rung never fired: %+v", s)
+	}
+	rs := res.Group.Col.Telem.Resilience
+	if rs.BudgetFaults != s.Canceled {
+		t.Fatalf("cancellations (%d) must surface as budget faults (%d)", s.Canceled, rs.BudgetFaults)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	w := serveWorkload(t)
+	if _, err := Run(Config{Workload: w, Mix: []MixEntry{{"nope", 1}}, Period: 10, Requests: 1}); err == nil {
+		t.Fatal("unknown mix entry not rejected")
+	}
+	if _, err := Run(Config{Workload: w, Mix: []MixEntry{{"req_tiny", 0}}, Period: 10, Requests: 1}); err == nil {
+		t.Fatal("non-positive weight not rejected")
+	}
+	if _, err := Run(Config{Workload: w, Period: 10}); err == nil {
+		t.Fatal("open loop without Requests not rejected")
+	}
+}

@@ -95,6 +95,18 @@ type Task struct {
 	// fault injection skip the retry, or an injected failure would suspend
 	// the same allocation forever.
 	allocRetry bool
+	// allocEmergency marks a suspension caused by a failed (or injected-
+	// failed) allocation rather than a sibling's Rgc or torture: the task is
+	// climbing the recovery ladder, and the climb's outcome is counted as
+	// LadderRecovered or LadderExhausted when it resolves.
+	allocEmergency bool
+
+	// Steps counts instructions this task has executed; AllocWords counts
+	// the object field words it has requested. Both are the budget meters
+	// (Group.BudgetSteps / BudgetAllocWords) and feed the serve harness's
+	// per-request accounting.
+	Steps      int64
+	AllocWords int64
 
 	// tlab is this task's private allocation buffer (Group.TLABWords > 0);
 	// TLAB accumulates its lifetime accounting.
@@ -128,7 +140,27 @@ const (
 	// FaultOOM is an allocation that failed after the whole recovery
 	// ladder: emergency collection, retry, and (when enabled) heap growth.
 	FaultOOM
+	// FaultBudget (BudgetExceeded) is a task terminated for exceeding a
+	// per-task budget: the step/deadline limit, the allocation-word quota,
+	// or an overload-ladder cancellation. Enforced only at the interpreter's
+	// existing suspension points (call dispatch and allocation), so an
+	// unbudgeted run's execution is untouched instruction for instruction.
+	FaultBudget
 )
+
+// String names the fault kind ("BudgetExceeded" matches the serve
+// harness's telemetry vocabulary).
+func (k FaultKind) String() string {
+	switch k {
+	case FaultRuntime:
+		return "RuntimeError"
+	case FaultOOM:
+		return "OutOfMemory"
+	case FaultBudget:
+		return "BudgetExceeded"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
 
 // Frame is one activation record in a captured backtrace.
 type Frame struct {
@@ -155,10 +187,14 @@ type TaskFault struct {
 
 // Error implements the error interface.
 func (f *TaskFault) Error() string {
-	if f.Kind == FaultRuntime {
+	switch f.Kind {
+	case FaultRuntime:
 		// Runtime-error causes come from errf, which already carries the
 		// task/function/pc context and the backtrace.
 		return f.Cause.Error()
+	case FaultBudget:
+		return fmt.Sprintf("task %d exceeded its budget in %s at pc %d: %v%s",
+			f.Task, f.Func, f.PC, f.Cause, backtraceString(f.Frames))
 	}
 	return fmt.Sprintf("task %d faulted in %s at pc %d: allocation of %d fields failed after the recovery ladder: %v%s",
 		f.Task, f.Func, f.PC, f.AllocSize, f.Cause, backtraceString(f.Frames))
@@ -247,6 +283,27 @@ type Group struct {
 	// armed lazily on the first scheduling call and retired en masse before
 	// every collection via the collector's PreCollect hook.
 	TLABWords int
+	// BudgetSteps, when > 0, is the per-task instruction deadline: a task
+	// that has executed more than this many instructions is terminated with
+	// a BudgetExceeded fault at its next suspension point (call dispatch or
+	// allocation). BudgetAllocWords is the per-task allocation-word quota,
+	// checked before every allocation. Both leave siblings — and, with
+	// budgets off, the whole run — untouched.
+	BudgetSteps      int64
+	BudgetAllocWords int64
+	// Tick, when set, is called at the top of every scheduling round with
+	// the group's virtual time (cumulative quantum steps). It may Spawn new
+	// tasks and CancelTask existing ones (no collection is in progress at
+	// tick time). Returning true keeps the scheduler alive even when every
+	// current task is finished: virtual time advances by one quantum per
+	// idle round so externally scheduled work (the serve harness's open-loop
+	// arrivals) still has a clock.
+	Tick func(now int64) bool
+
+	// forceMajor requests that the next stop-the-world collection escalate
+	// to a tenure-all major (the overload ladder's second rung); set via
+	// RequestMajor, consumed by collectSuspended.
+	forceMajor bool
 
 	// initTask is the transient init task while RunInit is running, so the
 	// pre-collection retirement wave covers its buffer too.
@@ -276,13 +333,45 @@ func NewGroupWith(prog *code.Program, h *heap.Heap, strat gc.Strategy, entries [
 		Quantum:  97,
 		MaxSteps: 1 << 40,
 	}
-	for i, e := range entries {
-		t := &Task{ID: i, stack: make([]code.Word, 1024), fp: -1}
-		g.pushFrame(t, e, -1)
-		t.stack[t.fp+2] = code.EncodeInt(prog.Repr, 0) // the unit argument
-		g.Tasks = append(g.Tasks, t)
+	for _, e := range entries {
+		g.Spawn(e)
 	}
 	return g, nil
+}
+
+// Spawn adds a task running function index entry (of type unit -> int) to
+// the group. Tasks may be spawned before the run starts or dynamically
+// from a Tick hook — never during a collection, which Tick guarantees by
+// construction. The new task is scheduled at the end of the round-robin
+// order, so spawning every entry up front is execution-identical to
+// constructing the group with those entries.
+func (g *Group) Spawn(entry int) *Task {
+	t := &Task{ID: len(g.Tasks), stack: make([]code.Word, 1024), fp: -1}
+	g.pushFrame(t, entry, -1)
+	t.stack[t.fp+2] = code.EncodeInt(g.Prog.Repr, 0) // the unit argument
+	g.Tasks = append(g.Tasks, t)
+	return t
+}
+
+// Now returns the group's virtual time: the cumulative scheduler steps
+// (whole quanta, including idle rounds) since the run began.
+func (g *Group) Now() int64 { return g.steps }
+
+// RequestMajor asks the next stop-the-world collection to escalate to a
+// tenure-all major after the normal cycle — the serve harness's "force
+// major/tenure-all" overload rung. No-op between collections otherwise.
+func (g *Group) RequestMajor() { g.forceMajor = true }
+
+// CancelTask terminates a live task with a BudgetExceeded fault carrying
+// the given cause — the overload ladder's last per-task rung before any
+// global failure. Safe from a Tick hook (the task is not mid-step); a
+// task that already finished or faulted is left untouched.
+func (g *Group) CancelTask(t *Task, cause error) bool {
+	if t.Status == Done || t.Status == Faulted {
+		return false
+	}
+	g.faultTask(t, FaultBudget, 0, cause)
+	return true
 }
 
 // setupTLABs lazily arms the heap's TLAB mode and the pre-collection
@@ -382,7 +471,9 @@ func (g *Group) RunInit() error {
 			// climb the rest of the ladder. Init failure is group-fatal —
 			// no task can run without the globals.
 			g.collect([]*Task{t})
-			if !g.rescueAlloc([]*Task{t}, t.pendingAlloc) {
+			ok := g.rescueAlloc([]*Task{t}, t.pendingAlloc)
+			g.noteLadderOutcome(t, ok)
+			if !ok {
 				return t.errf(g, "%v", g.oomCause(t.pendingAlloc))
 			}
 			t.Status = Running
@@ -422,6 +513,34 @@ func (g *Group) Run() error {
 func (g *Group) runUntilSuspended() (bool, error) {
 	g.setupTLABs()
 	for {
+		external := false
+		if g.Tick != nil && g.rgc == 0 {
+			// The supervisor hook runs only between collections: a task it
+			// spawns starts Running, which must not break the all-suspended
+			// invariant of a pending stop-the-world cycle.
+			external = g.Tick(g.steps)
+		}
+		if g.forceMajor && g.rgc == 0 {
+			// A supervisor requested a major cycle (the serve ladder's rung
+			// 2). Collections normally start from an allocation failure, but
+			// a server shedding every arrival may never allocate again —
+			// waiting for an organic trigger would leave occupancy high
+			// forever. Raise Rgc so running tasks reach their safe points
+			// (the normal stop-the-world path consumes forceMajor); with no
+			// runnable task, collect right here over the globals alone.
+			anyRunning := false
+			for _, t := range g.Tasks {
+				if t.Status == Running {
+					anyRunning = true
+					break
+				}
+			}
+			if anyRunning {
+				g.rgc = 1
+			} else {
+				g.collectSuspended()
+			}
+		}
 		allDone := true
 		anyRan := false
 		for _, t := range g.Tasks {
@@ -449,6 +568,16 @@ func (g *Group) runUntilSuspended() (bool, error) {
 			}
 		}
 		if allDone {
+			if external {
+				// Open-loop mode: every admitted task finished but the
+				// supervisor still expects arrivals. Let virtual time pass
+				// so the next Tick can inject them.
+				g.steps += int64(g.Quantum)
+				if g.steps > g.MaxSteps {
+					return false, fmt.Errorf("tasking: step limit exceeded")
+				}
+				continue
+			}
 			return false, nil
 		}
 		if g.rgc != 0 && g.allSuspended() {
@@ -518,13 +647,27 @@ func (g *Group) allSuspended() bool {
 func (g *Group) collectSuspended() {
 	live := g.pendingTasks()
 	g.collect(live)
+	if g.forceMajor {
+		// An external supervisor (the serve degradation ladder) asked for a
+		// tenure-all cycle: empty the nursery into the old region so shed
+		// decisions are judged against real headroom.
+		g.forceMajor = false
+		if g.Heap.NurseryEnabled() {
+			g.tenureCollect(live)
+		}
+	}
 	g.Stats.SuspendLatency = append(g.Stats.SuspendLatency, g.latency)
 	g.latency = 0
 	// Rescue before resuming anyone: rescueAlloc's generational rungs run
 	// further collections over these same stacks, and a task's root
 	// treatment (AtCall) is read from its still-suspended status.
 	for _, t := range live {
-		if t.Status == SuspendedAlloc && !g.rescueAlloc(live, t.pendingAlloc) {
+		if t.Status != SuspendedAlloc {
+			continue
+		}
+		ok := g.rescueAlloc(live, t.pendingAlloc)
+		g.noteLadderOutcome(t, ok)
+		if !ok {
 			g.faultTask(t, FaultOOM, t.pendingAlloc, g.oomCause(t.pendingAlloc))
 		}
 	}
@@ -622,6 +765,38 @@ func (g *Group) faultTask(t *Task, kind FaultKind, allocSize int, cause error) {
 	t.Err = f
 	g.retireTaskTLAB(t)
 	g.Col.Telem.Resilience.TaskFaults++
+	if kind == FaultBudget {
+		g.Col.Telem.Resilience.BudgetFaults++
+	}
+}
+
+// noteLadderOutcome resolves one task's recovery-ladder climb: recovered
+// (the retry will succeed) or exhausted (the task is about to fault).
+// Only counted for tasks whose suspension was a failed allocation —
+// emergency climbs — not for siblings parked by Rgc or torture.
+func (g *Group) noteLadderOutcome(t *Task, ok bool) {
+	if !t.allocEmergency {
+		return
+	}
+	t.allocEmergency = false
+	if ok {
+		g.Col.Telem.Resilience.LadderRecovered++
+	} else {
+		g.Col.Telem.Resilience.LadderExhausted++
+	}
+}
+
+// overBudget reports whether the task has exceeded a per-task budget,
+// with the typed cause. extraAlloc is the field-word size of an
+// allocation about to be requested (0 at call dispatch).
+func (g *Group) overBudget(t *Task, extraAlloc int) (error, bool) {
+	if g.BudgetSteps > 0 && t.Steps > g.BudgetSteps {
+		return fmt.Errorf("step budget exhausted: %d instructions executed, limit %d", t.Steps, g.BudgetSteps), true
+	}
+	if g.BudgetAllocWords > 0 && t.AllocWords+int64(extraAlloc) > g.BudgetAllocWords {
+		return fmt.Errorf("allocation budget exhausted: %d words requested, quota %d", t.AllocWords+int64(extraAlloc), g.BudgetAllocWords), true
+	}
+	return nil, false
 }
 
 // backtrace captures the task's frame chain, innermost first, bounded so
@@ -725,6 +900,7 @@ func (g *Group) step(t *Task, quantum int) error {
 			return nil
 		}
 		g.Stats.Instructions++
+		t.Steps++
 		if g.rgc != 0 {
 			g.latency++
 		}
@@ -879,6 +1055,15 @@ func (g *Group) step(t *Task, quantum int) error {
 					return nil
 				}
 			}
+			if g.BudgetSteps > 0 || g.BudgetAllocWords > 0 {
+				// Budgets are enforced at the same safe points as Rgc: call
+				// dispatch is where a task can be stopped without leaving a
+				// half-built frame or heap object.
+				if cause, over := g.overBudget(t, 0); over {
+					g.faultTask(t, FaultBudget, 0, cause)
+					return nil
+				}
+			}
 			if op == code.OpCall {
 				callee := int(c[pc+2])
 				nargs := int(c[pc+4])
@@ -984,6 +1169,15 @@ func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
 	case code.OpMkClos:
 		n = 1 + int(c[pc+5]) + int(c[pc+6])
 	}
+	if g.BudgetSteps > 0 || g.BudgetAllocWords > 0 {
+		// Allocation sites are the other safe point: fault the task before
+		// the request touches the heap so an over-quota task cannot trigger
+		// collections on its siblings' behalf.
+		if cause, over := g.overBudget(t, n); over {
+			g.faultTask(t, FaultBudget, n, cause)
+			return nil
+		}
+	}
 	if g.Policy == SuspendAtAllocs {
 		g.Stats.RgcChecks++
 		if g.rgc != 0 {
@@ -1016,6 +1210,7 @@ func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
 				g.Col.Telem.Resilience.EmergencyCollections++
 			}
 			g.rgc = 1
+			t.allocEmergency = true
 			t.suspendAlloc(n)
 			return nil
 		}
@@ -1029,9 +1224,11 @@ func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
 			g.Col.Telem.Resilience.EmergencyCollections++
 		}
 		g.rgc = 1
+		t.allocEmergency = true
 		t.suspendAlloc(n)
 		return nil
 	}
+	t.AllocWords += int64(n)
 	t.allocRetry = false
 	if g.Heap.NurseryEnabled() && !g.Heap.InYoung(ptr) {
 		// Objects too large for the nursery are born old; their stores

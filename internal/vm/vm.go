@@ -235,6 +235,17 @@ func (vm *VM) notePreTenure(ptr code.Word) {
 // emergency collection even when the heap has room — both exercise exactly
 // the paths a genuine exhaustion would take.
 func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
+	// A "climb" is any trip past the routine collect-on-demand: an injected
+	// failure, or a first collection that did not free enough. Its outcome is
+	// split into recovered vs exhausted so resilience stats distinguish a
+	// rescue from a mere delay of death.
+	climb := false
+	recovered := func() error {
+		if climb {
+			vm.Col.Telem.Resilience.LadderRecovered++
+		}
+		return nil
+	}
 	if f := vm.Col.Faults; f != nil {
 		switch {
 		case f.Torture:
@@ -243,16 +254,18 @@ func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
 		case f.FailAlloc():
 			vm.Col.Telem.Resilience.InjectedOOMs++
 			vm.Col.Telem.Resilience.EmergencyCollections++
+			climb = true
 			vm.collect(pc, fp)
 		}
 	}
 	if !vm.Heap.Need(n) {
-		return nil
+		return recovered()
 	}
 	vm.collect(pc, fp)
 	if !vm.Heap.Need(n) {
-		return nil
+		return recovered()
 	}
+	climb = true
 	// Generational escalation: a minor collection may not free enough young
 	// space (survivors below the promotion age stay young), so escalate to
 	// a full collection, then to a tenure-everything one that drains the
@@ -261,12 +274,12 @@ func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
 		if vm.Col.LastCollectionMinor() {
 			vm.fullCollect(pc, fp)
 			if !vm.Heap.Need(n) {
-				return nil
+				return recovered()
 			}
 		}
 		vm.tenureCollect(pc, fp)
 		if !vm.Heap.Need(n) {
-			return nil
+			return recovered()
 		}
 	}
 	for vm.GrowFactor > 1 {
@@ -286,7 +299,7 @@ func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
 		}
 		vm.Col.Telem.Resilience.HeapGrowths++
 		if !vm.Heap.Need(n) {
-			return nil
+			return recovered()
 		}
 		if vm.Heap.NurseryEnabled() {
 			// Grow extends only the old region; tenure-all moves the young
@@ -294,10 +307,11 @@ func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
 			// blocked on nursery occupancy can finally succeed.
 			vm.tenureCollect(pc, fp)
 			if !vm.Heap.Need(n) {
-				return nil
+				return recovered()
 			}
 		}
 	}
+	vm.Col.Telem.Resilience.LadderExhausted++
 	return vm.errf(pc, fidx, "heap exhausted (%d fields requested, %d words live)",
 		n, vm.Heap.Used())
 }
