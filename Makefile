@@ -21,15 +21,21 @@
 # nursery+TLAB recovery-ladder test under the race detector, plus the
 # committed overload-torture scenario (arrivals, shedding and the faults
 # block's torture/injection knobs all through the DSL).
+# tier2-concurrent is the incremental-marking pass: the concurrent
+# differential, interleaving-fuzz, watchdog and validation suites under
+# the race detector, plus the committed concurrent-torture scenario —
+# gc_concurrent cycling continuously in a tight heap with the verifier
+# on, and gc_concurrent crossed with torture so every forced collection
+# aborts an in-flight cycle.
 
-.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab tier2-scenario tier2-serve bench bench-json fuzz fuzz-scenario
+.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent bench bench-json fuzz fuzz-scenario
 
 tier1:
 	go build ./...
 	go vet ./...
 	go test ./...
 
-tier2: tier1 tier2-nursery tier2-tlab tier2-scenario tier2-serve
+tier2: tier1 tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent
 	go test -race ./...
 	go test -run TestDifferential -count=1 ./internal/pipeline/
 
@@ -50,6 +56,10 @@ tier2-serve:
 	go test -race -run 'TestBudget|TestLadderOutcomeSplit|TestNurseryTLABLadder' -count=1 -timeout 30m ./internal/pipeline/
 	go run -race ./cmd/tfbench -scenario testdata/scenarios/overload-torture.tfs >/dev/null
 
+tier2-concurrent:
+	go test -race -run 'TestDifferentialConcurrent|TestConcurrent' -count=1 -timeout 30m ./internal/pipeline/
+	go run -race ./cmd/tfbench -scenario testdata/scenarios/concurrent-torture.tfs >/dev/null
+
 tier2-torture: tier1
 	GC_TORTURE_FULL=1 go test -race -run 'TestTorture|TestRecoveryLadder|TestWatchdog' -count=1 -timeout 30m ./internal/pipeline/
 
@@ -63,8 +73,8 @@ bench:
 # Regenerate the committed benchmark snapshot (schema tagfree-bench/v1);
 # fixed repeats so snapshots are comparable across the repo's history.
 # Override the output for a new trajectory point:
-#   make bench-json BENCH_OUT=BENCH_PR7.json
-BENCH_OUT ?= BENCH_PR6.json
+#   make bench-json BENCH_OUT=BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR8.json
 bench-json:
 	go run ./cmd/tfbench -repeats 3 -bench-json $(BENCH_OUT)
 

@@ -1,4 +1,4 @@
-// Command tfbench regenerates the experiment tables (E1–E14; see
+// Command tfbench regenerates the experiment tables (E1–E15; see
 // EXPERIMENTS.md). With arguments, it runs only the named experiments.
 //
 //	tfbench              # all experiments
@@ -34,6 +34,7 @@ func main() {
 	torture := flag.Bool("gc-torture", false, "collect before every allocation (telemetry report)")
 	nursery := flag.Int("gc-nursery", 0, "generational nursery size in words per young half (telemetry report)")
 	tlab := flag.Int("tlab", 0, "per-task allocation buffer chunk in words (telemetry report)")
+	gcConc := flag.Bool("gc-concurrent", false, "mostly-concurrent marking on the mark/sweep rows (telemetry report)")
 	benchJSON := flag.String("bench-json", "", "write the benchmark snapshot (schema tagfree-bench/v1) to this file and exit; \"-\" for stdout")
 	scenarioPath := flag.String("scenario", "", "run the scenario matrix from a .tfs file or a directory of .tfs files")
 	flag.Parse()
@@ -63,8 +64,9 @@ func main() {
 		"e12": experiments.E12AllocContention,
 		"e13": experiments.E13ScenarioMatrix,
 		"e14": experiments.E14Overload,
+		"e15": func() *experiments.Table { return experiments.E15ConcurrentMark(*repeats) },
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -72,7 +74,7 @@ func main() {
 	}
 	for _, name := range selected {
 		if strings.EqualFold(name, "telemetry") {
-			telemetryReport(*par, *asJSON, *verifyHeap, *torture, *nursery, *tlab)
+			telemetryReport(*par, *asJSON, *verifyHeap, *torture, *nursery, *tlab, *gcConc)
 			continue
 		}
 		r, ok := runners[strings.ToLower(name)]
@@ -161,10 +163,10 @@ func writeBenchSnapshot(path string, repeats int) {
 // generationally (tier2-nursery combines all three under -race); tlab > 0
 // gives each task a private allocation buffer of that many words and grows
 // the refill/fast/shared/waste columns plus the cumulative tlab line.
-func telemetryReport(par int, asJSON, verify, torture bool, nursery, tlab int) {
+func telemetryReport(par int, asJSON, verify, torture bool, nursery, tlab int, conc bool) {
 	for _, w := range workloads.Tasking {
 		for _, ms := range []bool{false, true} {
-			res, err := pipeline.RunTasks(w.Source, w.Entries, pipeline.Options{
+			opts := pipeline.Options{
 				Strategy:     gc.StratCompiled,
 				HeapWords:    w.HeapWords,
 				MarkSweep:    ms,
@@ -173,7 +175,13 @@ func telemetryReport(par int, asJSON, verify, torture bool, nursery, tlab int) {
 				Torture:      torture,
 				NurseryWords: nursery,
 				TLABWords:    tlab,
-			})
+			}
+			if conc && ms && nursery == 0 && par <= 1 {
+				// -gc-concurrent applies only where the incremental marker
+				// exists: the sequential, non-nursery mark/sweep rows.
+				opts.GCConcurrent = true
+			}
+			res, err := pipeline.RunTasks(w.Source, w.Entries, opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "telemetry %s: %v\n", w.Name, err)
 				os.Exit(1)

@@ -72,6 +72,10 @@ func cli(args []string, stdout io.Writer) error {
 	nursery := fs.Int("gc-nursery", 0, "generational nursery size in words per young half (0 = off)")
 	promote := fs.Int("gc-promote", 0, "nursery survival count before promotion (0 = default of 2)")
 	tlab := fs.Int("tlab", 0, "per-task allocation buffer chunk in words (0 = off)")
+	gcConc := fs.Bool("gc-concurrent", false, "mostly-concurrent marking (-marksweep, no nursery)")
+	concPct := fs.Int("gc-conc-trigger", 0, "heap-occupancy percent that starts a concurrent cycle (0 = 75)")
+	concBudget := fs.Int("gc-conc-budget", 0, "words marked per concurrent slice (0 = default)")
+	concSlices := fs.Int("gc-conc-maxslices", 0, "slice watchdog before a cycle aborts to stop-the-world (0 = derived)")
 	verifyHeap := fs.Bool("verify-heap", false, "verify heap invariants after every collection")
 	torture := fs.Bool("gc-torture", false, "collect before every allocation")
 	failNth := fs.Int64("fail-alloc", 0, "inject one allocation failure at the Nth allocation")
@@ -144,6 +148,10 @@ func cli(args []string, stdout io.Writer) error {
 			MaxHeapWords:     *heapMax,
 			BudgetSteps:      *budgetSteps,
 			BudgetAllocWords: *budgetAlloc,
+			GCConcurrent:     *gcConc,
+			ConcTriggerPct:   *concPct,
+			ConcMarkBudget:   *concBudget,
+			ConcMaxSlices:    *concSlices,
 		},
 		Period:      *period,
 		Burst:       *burst,

@@ -19,6 +19,10 @@
 //	E12 per-task allocation buffers: shared-heap acquisitions per allocation
 //	E13 scenario matrix: the declarative .tfs corpus, all strategies ×
 //	    disciplines (scenario.go)
+//	E14 overload serving: graceful degradation under open-loop arrivals
+//	    (serve.go)
+//	E15 mostly-concurrent marking: max pause vs throughput, stop-the-world
+//	    against incremental cycles (concurrent.go)
 package experiments
 
 import (
@@ -518,6 +522,7 @@ func All(repeats int) []*Table {
 		E12AllocContention(),
 		E13ScenarioMatrix(),
 		E14Overload(),
+		E15ConcurrentMark(repeats),
 	}
 }
 

@@ -133,6 +133,13 @@ type Collector struct {
 	// differential suite uses the disabled collector as its oracle; the
 	// fast path must produce bit-identical heaps.
 	DisableFastPath bool
+	// ConcMarkBudget bounds each concurrent marking increment in heap
+	// words (0 = DefaultConcMarkBudget); ConcMaxSlices caps how many
+	// increments one cycle may run before the watchdog declares the gray
+	// queue undrainable and the caller aborts to stop-the-world (0 = a
+	// generous heap-size-derived default). See concurrent.go.
+	ConcMarkBudget int
+	ConcMaxSlices  int
 
 	// Gen counts generational activity (see generational.go); all zero
 	// unless the heap has a nursery.
@@ -157,6 +164,9 @@ type Collector struct {
 	siteCache []int32
 	// plans is the frame-plan cache (compiled strategy fast path).
 	plans planCache
+	// conc is the in-flight concurrent mark cycle, nil when none is
+	// active (concurrent.go).
+	conc *concCycle
 	// compiledSites holds the prebuilt frame routines (compiled mode).
 	compiledSites [][]slotTracer
 	// interpSites holds the serialized frame maps (interp mode).
@@ -337,6 +347,11 @@ func (c *Collector) shouldMinor() bool {
 // old→young edges the trace observes, discharging any force-major
 // condition.
 func (c *Collector) CollectFull(tasks []TaskRoots, globals []code.Word) {
+	// A stop-the-world collection entered mid-cycle (the OOM recovery
+	// ladder, torture mode, a forced major) invalidates the incremental
+	// marking: the sweep below would treat its partial mark set as the
+	// whole truth. Abort the cycle first — a no-op when none is active.
+	c.ConcAbort()
 	if c.PreCollect != nil {
 		c.PreCollect()
 	}
@@ -473,19 +488,18 @@ func (c *Collector) collectTask(t TaskRoots, sc *scratch) {
 	fast := c.Strat == StratCompiled && !c.DisableFastPath
 	var incoming pkg
 	var ic planIC
+	var prev *framePlan
 	for i, fp := range fps {
 		siteIdx, site := c.siteAtFast(pcs[i], &c.Stats)
 		fi := c.Prog.Funcs[site.Func]
 		if fast {
-			// Compiled fast path: resolve the frame's type arguments, then
-			// run the memoized plan — slot routines, kernels, dedupe and
+			// Compiled fast path: resolve the frame's plan — through the
+			// caller plan's edge cache when possible, otherwise by type
+			// arguments — then run it: slot routines, kernels, dedupe and
 			// outgoing package all precomputed per (site, instantiation).
-			targs := c.frameTypeArgs(fi, incoming, t.Stack, fp, sc)
-			plan := c.planForIC(&ic, siteIdx, site, targs, &c.Stats)
+			plan := c.planForEdge(prev, &ic, siteIdx, site, fi, incoming, t.Stack, fp, sc, &c.Stats)
 			c.tracePlan(plan, t.Stack, fp+2, t.AtCall && i == len(fps)-1)
-			if i < len(fps)-1 {
-				incoming = plan.out
-			}
+			incoming, prev = plan.out, plan
 			continue
 		}
 		var targs []TypeGC

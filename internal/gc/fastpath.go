@@ -95,19 +95,23 @@ const (
 	// field words are already correct verbatim.
 	kTupleFlat
 	// kSpineFlat: a datatype whose boxed constructors carry only unboxed
-	// payload fields plus an optional recursive tail (int lists, enums
-	// with data) — one iterative loop over the spine, zero per-field
-	// dispatch.
+	// payload fields plus self-recursive fields (int lists, enums with
+	// data, binary trees over unboxed payloads) — an iterative loop over
+	// the rightmost spine with direct recursion into the other
+	// self-recursive fields, zero per-field dispatch.
 	kSpineFlat
 )
 
 // spineKernel is the precomputed per-tag layout a kSpineFlat loop needs:
-// the visited object size and the recursive tail field offset (-1 for a
-// terminal constructor), both including the optional tag word.
+// the visited object size, the recursive tail field offset (-1 for a
+// terminal constructor) iterated without growing the Go stack, and the
+// remaining self-recursive field offsets (tree children), recursed in
+// field order. All offsets include the optional tag word.
 type spineKernel struct {
 	hasTag bool
 	size   []int
 	tail   []int
+	self   [][]int
 }
 
 // classify picks the kernel for a routine. Classification resolves the
@@ -132,6 +136,7 @@ func (c *Collector) classify(g TypeGC) (kernel, *spineKernel) {
 			hasTag: g.layout.HasTagWord,
 			size:   make([]int, len(g.layout.Boxed)),
 			tail:   make([]int, len(g.layout.Boxed)),
+			self:   make([][]int, len(g.layout.Boxed)),
 		}
 		off := 0
 		if sk.hasTag {
@@ -143,8 +148,16 @@ func (c *Collector) classify(g TypeGC) (kernel, *spineKernel) {
 			sk.tail[tag] = -1
 			for i, fd := range fields {
 				fgc := c.FromDesc(fd, g.args)
-				if fgc == g && i == len(fields)-1 {
-					sk.tail[tag] = off + i
+				if fgc == g {
+					// Hash-consing makes node identity instantiation
+					// identity, so fgc == g is exactly "this datatype at
+					// this instantiation". The last field iterates as the
+					// spine; the rest (tree children) recurse.
+					if i == len(fields)-1 {
+						sk.tail[tag] = off + i
+					} else {
+						sk.self[tag] = append(sk.self[tag], off+i)
+					}
 					continue
 				}
 				if _, ok := fgc.(*constG); !ok {
@@ -228,6 +241,11 @@ func (c *Collector) traceSpine(sk *spineKernel, g TypeGC, w code.Word, st *Stats
 		}
 		st.ObjectsCopied++
 		st.KernelWords += int64(sk.size[tag])
+		// Non-tail self-recursive fields (tree children) recurse in field
+		// order, exactly where dataG.Trace would dispatch g.Trace on them.
+		for _, f := range sk.self[tag] {
+			c.setField(nw, f, c.traceSpine(sk, g, c.Heap.Field(nw, f), st), g)
+		}
 		t := sk.tail[tag]
 		if t < 0 {
 			return head0(head, haveHead, nw)
@@ -267,28 +285,38 @@ func (c *Collector) markKernel(ps *planSlot, w code.Word, st *Stats) int64 {
 		st.KernelWords += int64(n)
 		return int64(n)
 	case kSpineFlat:
-		sk := ps.spine
-		var words int64
-		for code.IsBoxedValue(repr, w) {
-			tag := 0
-			if sk.hasTag {
-				tag = int(code.DecodeInt(repr, c.Heap.Field(w, 0)))
-			}
-			if _, fresh := c.Heap.VisitShared(w, sk.size[tag]); !fresh {
-				break
-			}
-			st.ObjectsCopied++
-			st.KernelWords += int64(sk.size[tag])
-			words += int64(sk.size[tag])
-			t := sk.tail[tag]
-			if t < 0 {
-				break
-			}
-			w = c.Heap.Field(w, t)
-		}
-		return words
+		return c.markSpine(ps.spine, w, st)
 	}
 	return c.markValue(ps.g, w, st)
+}
+
+// markSpine is traceSpine's read-only twin: claim each spine object
+// through VisitShared, recurse into the non-tail self-recursive fields,
+// iterate the tail. Returns the words newly marked.
+func (c *Collector) markSpine(sk *spineKernel, w code.Word, st *Stats) int64 {
+	repr := c.Heap.Repr
+	var words int64
+	for code.IsBoxedValue(repr, w) {
+		tag := 0
+		if sk.hasTag {
+			tag = int(code.DecodeInt(repr, c.Heap.Field(w, 0)))
+		}
+		if _, fresh := c.Heap.VisitShared(w, sk.size[tag]); !fresh {
+			break
+		}
+		st.ObjectsCopied++
+		st.KernelWords += int64(sk.size[tag])
+		words += int64(sk.size[tag])
+		for _, f := range sk.self[tag] {
+			words += c.markSpine(sk, c.Heap.Field(w, f), st)
+		}
+		t := sk.tail[tag]
+		if t < 0 {
+			break
+		}
+		w = c.Heap.Field(w, t)
+	}
+	return words
 }
 
 // ---------------------------------------------------------------------------
@@ -306,13 +334,57 @@ type planSlot struct {
 // framePlan is a fully resolved frame routine for one (site, incoming
 // type instantiation): the slot routines with their kernels, the
 // suspended-call argument map minus slots the frame walk already covers
-// (the per-frame dedupe, computed once), and the outgoing package. Plans
-// are immutable after construction and shared freely across frames,
-// collections and workers.
+// (the per-frame dedupe, computed once), and the outgoing package. The
+// trace fields are immutable after construction and shared freely across
+// frames, collections and workers; edges is the one mutable member, a
+// copy-on-write map filled as towers are walked (see planForEdge).
 type framePlan struct {
 	slots []planSlot
 	args  []planSlot
 	out   pkg
+
+	// edges caches, per callee gc_word index, the plan the *next* frame
+	// resolves to when this plan is the caller. A caller plan pins the
+	// caller's instantiation, the outgoing package is part of the plan,
+	// and a non-closure callee's type arguments are a pure function of
+	// that package — so (caller plan, callee site) determines the callee
+	// plan, and a warmed tower of mixed frames (mutual recursion, a call
+	// chain the one-entry inline cache thrashes on) resolves in O(1) per
+	// frame: no type-argument resolution, no plan-key hashing.
+	edges atomic.Pointer[map[int]*framePlan]
+}
+
+// edge returns the cached callee plan for a callee site, or nil.
+func (p *framePlan) edge(site int) *framePlan {
+	if m := p.edges.Load(); m != nil {
+		return (*m)[site]
+	}
+	return nil
+}
+
+// addEdge publishes a callee edge copy-on-write. Racing workers may build
+// the map twice; plans for one key are interchangeable, so whichever swap
+// wins is correct, and the loser retries against the winner's map.
+func (p *framePlan) addEdge(site int, callee *framePlan) {
+	for {
+		old := p.edges.Load()
+		if old != nil {
+			if _, ok := (*old)[site]; ok {
+				return
+			}
+		}
+		m := make(map[int]*framePlan, 1)
+		if old != nil {
+			m = make(map[int]*framePlan, len(*old)+1)
+			for k, v := range *old {
+				m[k] = v
+			}
+		}
+		m[site] = callee
+		if p.edges.CompareAndSwap(old, &m) {
+			return
+		}
+	}
 }
 
 // maxPlanTypeArgs bounds the inline plan key. Frames instantiated with
@@ -388,6 +460,28 @@ func (c *Collector) planForIC(ic *planIC, siteIdx int, site *code.SiteInfo, targ
 	}
 	p := c.planFor(siteIdx, site, targs, st)
 	*ic = planIC{site: siteIdx, targs: targs, plan: p}
+	return p
+}
+
+// planForEdge resolves a frame's plan during a stack walk, consulting the
+// caller plan's edge cache first. An edge hit skips type-argument
+// resolution and the plan-key hash entirely; closure-called frames
+// (TypeSourceEnv) read their instantiation out of the closure's rep words
+// on the heap, so their plans can differ per frame at one site and are
+// never edge-cached.
+func (c *Collector) planForEdge(prev *framePlan, ic *planIC, siteIdx int, site *code.SiteInfo, fi *code.FuncInfo, incoming pkg, stack []code.Word, fp int, sc *scratch, st *Stats) *framePlan {
+	cacheable := prev != nil && fi.TypeSource != code.TypeSourceEnv
+	if cacheable {
+		if p := prev.edge(siteIdx); p != nil {
+			st.PlanHits++
+			return p
+		}
+	}
+	targs := c.frameTypeArgs(fi, incoming, stack, fp, sc)
+	p := c.planForIC(ic, siteIdx, site, targs, st)
+	if cacheable {
+		prev.addEdge(siteIdx, p)
+	}
 	return p
 }
 

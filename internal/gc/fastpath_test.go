@@ -129,6 +129,24 @@ func TestFastPathCachesEngage(t *testing.T) {
 	}
 }
 
+// TestFastPathTreeKernel pins the self-recursive extension of the spine
+// kernel: a binary tree over unboxed payloads (tasktree) is a flat shape —
+// every constructor field is const or the datatype itself — so its bulk
+// must trace through kSpineFlat, not fall back to generic dispatch, under
+// both disciplines.
+func TestFastPathTreeKernel(t *testing.T) {
+	w, ok := workloads.TaskByName("tasktree")
+	if !ok {
+		t.Fatal("tasktree workload missing")
+	}
+	for _, ms := range []bool{false, true} {
+		_, _, st := runGroupFP(t, w, gc.StratCompiled, ms, 1, false)
+		if st.KernelWords == 0 {
+			t.Fatalf("ms=%v: tree spines never traced through a kernel: %+v", ms, st)
+		}
+	}
+}
+
 // TestFastPathOtherStrategiesUnaffected: the plan cache and kernels are a
 // Compiled-strategy specialization. Interp must keep paying its
 // per-collection decode cost (the E4 trade-off) and Appel its chain

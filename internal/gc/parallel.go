@@ -244,15 +244,16 @@ func (c *Collector) taskJobs(t TaskRoots, st *Stats, sc *scratch) []rootJob {
 	jobs := sc.jobsWindow()
 	var incoming pkg
 	var ic planIC
+	var prev *framePlan
 	for i, fp := range fps {
 		siteIdx, site := c.siteAtFast(pcs[i], st)
 		fi := c.Prog.Funcs[site.Func]
 		if fast {
 			// Compiled fast path: the memoized plan already carries the
 			// resolved slot routines, kernels, the deduplicated argument
-			// map and the outgoing package (fastpath.go).
-			targs := c.frameTypeArgs(fi, incoming, t.Stack, fp, sc)
-			plan := c.planForIC(&ic, siteIdx, site, targs, st)
+			// map and the outgoing package, and the caller plan's edge
+			// cache resolves warmed towers in O(1) per frame (fastpath.go).
+			plan := c.planForEdge(prev, &ic, siteIdx, site, fi, incoming, t.Stack, fp, sc, st)
 			base := fp + 2
 			for k := range plan.slots {
 				jobs = append(jobs, planJob(base, &plan.slots[k]))
@@ -262,9 +263,7 @@ func (c *Collector) taskJobs(t TaskRoots, st *Stats, sc *scratch) []rootJob {
 					jobs = append(jobs, planJob(base, &plan.args[k]))
 				}
 			}
-			if i < len(fps)-1 {
-				incoming = plan.out
-			}
+			incoming, prev = plan.out, plan
 			continue
 		}
 		var targs []TypeGC

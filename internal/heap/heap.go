@@ -170,6 +170,16 @@ func (h *Heap) MemSnapshot() []code.Word {
 // Used returns the words currently allocated in the active space.
 func (h *Heap) Used() int { return h.alloc - h.fromOff }
 
+// OccupiedWords estimates the words actually holding objects: the bump
+// high-water mark minus the storage parked on the mark/sweep free lists
+// (on a copying heap the two coincide — nothing is parked). The concurrent
+// mark trigger watches this figure: Used alone saturates permanently once
+// a mark/sweep bump region has filled, even when sweeps have recycled most
+// of it.
+func (h *Heap) OccupiedWords() int {
+	return h.Used() - h.FreeListWords()
+}
+
 // ActiveSnapshot returns a copy of the allocated words of the active
 // space. On a copying heap right after a full collection this is the
 // trace-order-deterministic image of the live heap — the TLAB differential

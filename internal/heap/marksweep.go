@@ -154,6 +154,17 @@ func (h *Heap) VisitShared(ptr code.Word, n int) (code.Word, bool) {
 	return ptr, true
 }
 
+// MarkedShared reports whether the object at ptr is already marked,
+// without marking it. The concurrent write barrier uses it to skip graying
+// targets the cycle has already claimed — without the check a store-heavy
+// mutator regrows the gray queue faster than slices drain it.
+func (h *Heap) MarkedShared(ptr code.Word) bool {
+	if h.kind != MarkSweep {
+		panic("MarkedShared: requires a mark/sweep heap")
+	}
+	return atomic.LoadUint32(&h.marks[h.addrIndex(ptr)]) != 0
+}
+
 // ResetMarks clears every mark bit without sweeping. The parallel
 // collector uses it to discard a partially-marked heap after a watchdog
 // abort, so the serial fallback can re-mark from scratch.

@@ -108,6 +108,44 @@ type Options struct {
 	// BudgetAllocWords > 0 faults any task whose cumulative heap allocation
 	// would exceed this many words. Tasking runs only.
 	BudgetAllocWords int64
+	// GCConcurrent arms mostly-concurrent marking (-gc-concurrent): the mark
+	// phase runs in budgeted slices interleaved with mutator execution at
+	// the existing safe points, bracketed by a brief root-snapshot pause and
+	// a bounded final pause that re-scans the stacks and sweeps. Requires
+	// MarkSweep, a tag-free typed strategy, and no nursery.
+	GCConcurrent bool
+	// ConcTriggerPct is the heap-occupancy watermark, in percent, that
+	// starts a concurrent cycle (0 = 75).
+	ConcTriggerPct int
+	// ConcMarkBudget is the words marked per slice (0 = the engine default);
+	// ConcMaxSlices bounds the slices per cycle before the watchdog aborts
+	// to stop-the-world (0 = derived from the heap size and budget).
+	ConcMarkBudget int
+	ConcMaxSlices  int
+}
+
+// validateConcurrent checks the -gc-concurrent gating common to both
+// execution paths: the incremental marker only exists for the mark/sweep
+// discipline, needs typed frame maps (the tagged baseline has none of the
+// store descriptors the barrier relies on), and composes with neither the
+// nursery (minor cycles move objects mid-mark) nor the parallel markers.
+func (o Options) validateConcurrent() error {
+	if !o.GCConcurrent {
+		return nil
+	}
+	if !o.MarkSweep {
+		return fmt.Errorf("-gc-concurrent requires the mark/sweep discipline (-marksweep)")
+	}
+	if o.Strategy == gc.StratTagged {
+		return fmt.Errorf("-gc-concurrent requires a tag-free strategy")
+	}
+	if o.NurseryWords > 0 {
+		return fmt.Errorf("-gc-concurrent does not compose with the generational nursery")
+	}
+	if o.Parallelism > 1 {
+		return fmt.Errorf("-gc-concurrent does not compose with parallel marking (-par)")
+	}
+	return nil
 }
 
 // faultPlan assembles the fault-injection plan implied by the options, or
@@ -270,6 +308,13 @@ func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result,
 	}
 	m.GrowFactor = opts.GrowFactor
 	m.MaxHeapWords = opts.MaxHeapWords
+	if err := opts.validateConcurrent(); err != nil {
+		return nil, err
+	}
+	m.GCConcurrent = opts.GCConcurrent
+	m.ConcTriggerPct = opts.ConcTriggerPct
+	m.Col.ConcMarkBudget = opts.ConcMarkBudget
+	m.Col.ConcMaxSlices = opts.ConcMaxSlices
 	raw, err := m.Run()
 	if err != nil {
 		return nil, err

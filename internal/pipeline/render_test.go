@@ -237,7 +237,7 @@ seq  par  before  live  surv%  words  frames  slots  flhit%  refills  fast  shar
 survivor histogram: 0-10%=1
 fast path: plan-hits=4 plan-misses=4 site-cache-hits=4 kernel-words=16
 tlab: refills=19 refill-words=608 fast-allocs=270 shared-allocs=20 waste-words=28 returned-words=40 shared-ratio=0.069
-resilience: injected-ooms=0 torture-collections=0 emergency-collections=1 ladder-recovered=1 ladder-exhausted=0 heap-growths=0 watchdog-trips=0 serial-fallbacks=0 task-faults=0 budget-faults=0
+resilience: injected-ooms=0 torture-collections=0 emergency-collections=1 ladder-recovered=1 ladder-exhausted=0 heap-growths=0 watchdog-trips=0 serial-fallbacks=0 task-faults=0 budget-faults=0 conc-aborts=0
 `
 	if got != want {
 		t.Errorf("table mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)

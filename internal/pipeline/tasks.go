@@ -110,6 +110,13 @@ func BuildTaskGroup(src string, entryNames []string, opts Options) (*tasking.Gro
 	group.GrowFactor = opts.GrowFactor
 	group.MaxHeapWords = opts.MaxHeapWords
 	group.TLABWords = opts.TLABWords
+	if err := opts.validateConcurrent(); err != nil {
+		return nil, nil, err
+	}
+	group.GCConcurrent = opts.GCConcurrent
+	group.ConcTriggerPct = opts.ConcTriggerPct
+	group.Col.ConcMarkBudget = opts.ConcMarkBudget
+	group.Col.ConcMaxSlices = opts.ConcMaxSlices
 	group.BudgetSteps = opts.BudgetSteps
 	group.BudgetAllocWords = opts.BudgetAllocWords
 	if opts.SuspendAtAllocs {

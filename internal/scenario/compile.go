@@ -164,6 +164,17 @@ func compileCell(sc *Scenario, w workloads.TaskWorkload, srv *serve.Config, stra
 		c.Skip = "mark/sweep is implemented for the tag-free strategies"
 	case strat == gc.StratTagged && sc.NurseryWords > 0:
 		c.Skip = "the generational nursery requires a tag-free strategy"
+	case sc.GCConcurrent && strat == gc.StratTagged:
+		c.Skip = "concurrent marking requires a tag-free strategy"
+	case sc.GCConcurrent && disc != MarkSweep:
+		c.Skip = "concurrent marking requires the mark/sweep discipline"
+	case sc.GCConcurrent && sc.NurseryWords > 0:
+		c.Skip = "concurrent marking requires the nursery off"
+	case sc.GCConcurrent && par > 1:
+		c.Skip = "concurrent marking uses a single incremental marker"
+	}
+	if sc.GCConcurrent && c.Skip == "" {
+		c.Opts.GCConcurrent = true
 	}
 	return c
 }

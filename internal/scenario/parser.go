@@ -140,7 +140,7 @@ func (p *parser) parseScenario() (*Scenario, error) {
 	return sc, nil
 }
 
-const scenarioKeys = "workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, faults, arrivals, mix"
+const scenarioKeys = "workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, gc_concurrent, faults, arrivals, mix"
 
 // parseStmt parses one `key values` statement inside a scenario body.
 func (p *parser) parseStmt(sc *Scenario) error {
@@ -265,6 +265,8 @@ func (p *parser) parseStmt(sc *Scenario) error {
 			return posErrorf(pos, "tlab size %d words out of range (0 to disable, or %d..%d)", n, minTLAB, maxTLAB)
 		}
 		sc.TLABWords = n
+	case "gc_concurrent":
+		sc.GCConcurrent = true
 	case "faults":
 		return p.parseFaults(sc)
 	case "arrivals":

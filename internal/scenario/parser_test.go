@@ -85,6 +85,56 @@ func TestScenarioParseDefaults(t *testing.T) {
 	}
 }
 
+// TestScenarioGCConcurrent pins the gc_concurrent key: a bare boolean that
+// turns on incremental marking for the cells in its envelope (mark/sweep,
+// tag-free, par 1, no nursery) and reports every other cell as skipped.
+func TestScenarioGCConcurrent(t *testing.T) {
+	scs, err := Parse(`
+scenario conc {
+  workload    taskchurn
+  strategies  compiled tagged
+  disciplines copying marksweep
+  par         1 2
+  gc_concurrent
+}
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !scs[0].GCConcurrent {
+		t.Fatalf("gc_concurrent not set on the scenario")
+	}
+	cells, err := Compile(scs)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	var on, skipped int
+	for _, c := range cells {
+		if c.Opts.GCConcurrent {
+			on++
+			if c.Skip != "" {
+				t.Errorf("%s: skipped cell has GCConcurrent set", c.Name)
+			}
+			if c.Strategy != gc.StratCompiled || c.Discipline != MarkSweep || c.Par != 1 {
+				t.Errorf("%s: concurrent marking outside its envelope", c.Name)
+			}
+		} else if c.Skip != "" {
+			skipped++
+		} else {
+			t.Errorf("%s: neither concurrent nor skipped under gc_concurrent", c.Name)
+		}
+	}
+	if on != 1 {
+		t.Errorf("got %d concurrent cells, want exactly compiled/marksweep/par1", on)
+	}
+	if skipped != 7 {
+		t.Errorf("got %d skipped cells, want 7", skipped)
+	}
+}
+
 // TestScenarioDiagnosticsGolden pins the exact position and message of
 // the parser's diagnostics for malformed .tfs input — the contract that
 // `tfbench -scenario` failures point at the offending token.
@@ -97,7 +147,7 @@ func TestScenarioDiagnosticsGolden(t *testing.T) {
 		{
 			name: "unknown key",
 			src:  "scenario x {\n  workload taskchurn\n  wrkload taskchurn\n}\n",
-			want: `3:3: unknown scenario key "wrkload" (have workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, faults, arrivals, mix)`,
+			want: `3:3: unknown scenario key "wrkload" (have workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, gc_concurrent, faults, arrivals, mix)`,
 		},
 		{
 			name: "bad strategy name",

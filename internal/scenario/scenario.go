@@ -4,7 +4,8 @@
 // reports already use. A scenario names a task workload and the matrix
 // axes to cross it with — collection strategies, heap disciplines,
 // parallelism — plus the runtime knobs (heap, nursery, promotion, TLAB)
-// and a fault-injection block, so that widening the evaluation no longer
+// and a fault-injection block, plus gc_concurrent for incremental marking,
+// so that widening the evaluation no longer
 // means editing Go in internal/workloads: workloads stay code, but the
 // *configurations* under which they run become data.
 //
@@ -74,6 +75,12 @@ type Scenario struct {
 	NurseryWords int
 	PromoteAfter int
 	TLABWords    int
+
+	// GCConcurrent turns on incremental (mostly-concurrent) marking for
+	// the cells that support it — mark/sweep, tag-free strategy, no
+	// nursery, one marker. Cells outside that envelope become reported
+	// skips, like mark/sweep under the tagged baseline.
+	GCConcurrent bool
 
 	// Faults is the fault-injection plan applied to every cell.
 	Faults FaultBlock

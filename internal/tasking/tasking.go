@@ -300,10 +300,30 @@ type Group struct {
 	// arrivals) still has a clock.
 	Tick func(now int64) bool
 
+	// GCConcurrent arms mostly-concurrent marking (mark/sweep heaps without
+	// a nursery): a cycle starts with a brief root-snapshot pause when heap
+	// occupancy crosses ConcTriggerPct, marking then runs in budgeted
+	// slices between task quanta, and a bounded final pause re-scans the
+	// stacks and sweeps. Both pauses ride the ordinary Rgc suspend wave so
+	// every task is at a call/alloc safe point with a valid frame map. See
+	// gc/concurrent.go for the marking engine and the abort/fallback rung.
+	GCConcurrent bool
+	// ConcTriggerPct is the occupancy watermark, in percent of the heap's
+	// words, that starts a concurrent cycle (0 = 75).
+	ConcTriggerPct int
+
 	// forceMajor requests that the next stop-the-world collection escalate
 	// to a tenure-all major (the overload ladder's second rung); set via
 	// RequestMajor, consumed by collectSuspended.
 	forceMajor bool
+	// concPhase tracks the concurrent cycle's scheduler-side state: which
+	// suspend waves belong to the cycle's pauses rather than a collection.
+	concPhase int
+	// concLastEnd is heap occupancy right after the last collection of any
+	// kind. The trigger requires real allocation growth beyond it, so a
+	// mostly-live heap that stays above the watermark does not re-cycle
+	// every round reclaiming nothing.
+	concLastEnd int
 
 	// initTask is the transient init task while RunInit is running, so the
 	// pre-collection retirement wave covers its buffer too.
@@ -541,6 +561,9 @@ func (g *Group) runUntilSuspended() (bool, error) {
 				g.collectSuspended()
 			}
 		}
+		if g.GCConcurrent && g.rgc == 0 {
+			g.concAdvance()
+		}
 		allDone := true
 		anyRan := false
 		for _, t := range g.Tasks {
@@ -578,9 +601,15 @@ func (g *Group) runUntilSuspended() (bool, error) {
 				}
 				continue
 			}
+			if g.GCConcurrent {
+				g.concRunEnd()
+			}
 			return false, nil
 		}
 		if g.rgc != 0 && g.allSuspended() {
+			if g.concPause() {
+				continue
+			}
 			return true, nil
 		}
 		if !anyRan && g.rgc == 0 {
@@ -638,6 +667,130 @@ func (g *Group) allSuspended() bool {
 	return true
 }
 
+// Concurrent-cycle scheduler phases. The marking engine (gc/concurrent.go)
+// owns the gray queue; the scheduler owns when its pauses may run: frame
+// maps exist only at call/alloc instructions, so the root snapshot and the
+// final re-scan ride the same Rgc suspend wave a stop-the-world collection
+// uses, while mark slices — which touch no stacks — run between rounds.
+const (
+	concIdle = iota
+	concStartPending  // wave raised to snapshot roots and start the cycle
+	concMarking       // cycle active; one mark slice per scheduling round
+	concFinishPending // gray queue drained; wave raised for the final pause
+)
+
+// concAdvance drives the concurrent collector between task quanta: it
+// raises the start wave when occupancy crosses the watermark, runs one
+// marking slice per round while the cycle is active, raises the finish
+// wave once the gray queue drains, and aborts to an ordinary
+// stop-the-world collection when the slice watchdog trips. Callers
+// guarantee g.rgc == 0.
+func (g *Group) concAdvance() {
+	switch g.concPhase {
+	case concIdle:
+		if g.Col.ConcActive() {
+			return // cycle mid-flight with no wave pending (marking phase)
+		}
+		pct := g.ConcTriggerPct
+		if pct <= 0 {
+			pct = 75
+		}
+		// Occupancy, not Used(): the mark/sweep bump pointer saturates
+		// permanently once the region fills, while freed storage parks on
+		// the free lists. Used minus free-list words is what is live+floating.
+		occ := g.Heap.OccupiedWords()
+		if 100*occ < pct*g.Heap.SemiWords() {
+			return
+		}
+		// Hysteresis: a heap whose live set sits above the watermark would
+		// otherwise re-cycle every round reclaiming nothing. Require real
+		// allocation since the last collection before cycling again.
+		if occ < g.concLastEnd+g.Heap.SemiWords()/8 {
+			return
+		}
+		g.concPhase = concStartPending
+		g.rgc = 1
+	case concMarking:
+		if !g.Col.ConcActive() {
+			// The write barrier aborted the cycle mid-quantum (a non-ground
+			// store it cannot type). Raise an ordinary stop-the-world wave to
+			// reclaim — the fallback the abort rung promises.
+			g.concPhase = concIdle
+			g.rgc = 1
+			return
+		}
+		switch g.Col.ConcSlice() {
+		case gc.ConcDrained:
+			g.concPhase = concFinishPending
+			g.rgc = 1
+		case gc.ConcOverBudget:
+			// The watchdog rung: the gray queue refused to drain within the
+			// slice budget (a store-heavy mutator regrowing it faster than
+			// marking retires it). Abort the cycle and raise an ordinary
+			// stop-the-world wave, which reclaims with the serial collector.
+			g.Col.ConcAbort()
+			g.concPhase = concIdle
+			g.rgc = 1
+		}
+	}
+}
+
+// concPause services a suspend wave that belongs to the concurrent cycle
+// (start or finish) rather than a collection: every live task is at a safe
+// point, so the stacks can be scanned. It reports whether the wave was
+// consumed here — tasks resumed, scheduling continues. A wave carrying a
+// genuine allocation failure (any SuspendedAlloc task, including torture
+// injections) returns false and hands over to the stop-the-world path,
+// whose CollectFull aborts any in-flight cycle automatically.
+func (g *Group) concPause() bool {
+	if g.concPhase != concStartPending && g.concPhase != concFinishPending {
+		// A genuine collection wave (allocation failure, forced major). The
+		// stop-the-world collect aborts any cycle still marking, so the
+		// scheduler phase resets with it.
+		g.concPhase = concIdle
+		return false
+	}
+	live := g.pendingTasks()
+	for _, t := range live {
+		if t.Status == SuspendedAlloc {
+			// An allocation failure shares the wave: memory is needed NOW,
+			// and only a full collection (with the rescue ladder behind it)
+			// guarantees it. Let collectSuspended take over.
+			g.concPhase = concIdle
+			return false
+		}
+	}
+	g.Stats.SuspendLatency = append(g.Stats.SuspendLatency, g.latency)
+	g.latency = 0
+	if g.concPhase == concStartPending {
+		g.Col.ConcStart(g.rootSet(live), g.Globals)
+		g.concPhase = concMarking
+	} else {
+		g.Col.ConcFinish(g.rootSet(live), g.Globals)
+		g.Stats.Collections++
+		g.concPhase = concIdle
+		g.concLastEnd = g.Heap.OccupiedWords()
+	}
+	g.rgc = 0
+	for _, t := range live {
+		t.Status = Running
+	}
+	return true
+}
+
+// concRunEnd closes out concurrent state when the last task finishes: a
+// cycle still marking (or about to finish) completes over the globals
+// alone — the sweep, the telemetry record and the verifier all still run —
+// and a wave that never gathered is stood down.
+func (g *Group) concRunEnd() {
+	if g.Col.ConcActive() {
+		g.Col.ConcFinish(nil, g.Globals)
+		g.Stats.Collections++
+	}
+	g.concPhase = concIdle
+	g.rgc = 0
+}
+
 // collectSuspended runs a stop-the-world collection over every live task
 // and resumes them, climbing the rest of the recovery ladder for any task
 // whose pending allocation the collection did not satisfy: grow the heap
@@ -676,6 +829,7 @@ func (g *Group) collectSuspended() {
 			t.Status = Running
 		}
 	}
+	g.concLastEnd = g.Heap.OccupiedWords()
 }
 
 // rescueAlloc climbs the post-collection rungs of the ladder for a pending
@@ -894,6 +1048,7 @@ func (g *Group) step(t *Task, quantum int) error {
 	c := prog.Code
 	repr := prog.Repr
 	nursery := g.Heap.NurseryEnabled()
+	conc := g.GCConcurrent
 
 	for i := 0; i < quantum; i++ {
 		if t.Status != Running {
@@ -1041,6 +1196,15 @@ func (g *Group) step(t *Task, quantum int) error {
 				// hold a pointer ever consult the remembered set.
 				if d := g.Prog.StoreDescs[pc]; d != nil && g.Heap.InOld(obj) && g.Heap.InYoung(v) {
 					g.Col.Remember(obj, int(c[pc+2]), d)
+				}
+			} else if conc && g.Col.ConcActive() {
+				// Incremental-update barrier: graying the stored value keeps
+				// marking sound when the mutator re-points a field of an
+				// already-scanned (black) object at an unmarked target. Same
+				// typed-store discipline as the generational barrier — the
+				// store descriptor tells the collector how to trace v.
+				if d := g.Prog.StoreDescs[pc]; d != nil {
+					g.Col.ConcBarrier(d, v)
 				}
 			}
 			t.pc = pc + 4

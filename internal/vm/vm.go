@@ -69,10 +69,28 @@ type VM struct {
 	GrowFactor   float64
 	MaxHeapWords int
 
+	// GCConcurrent arms mostly-concurrent marking (mark/sweep heaps without
+	// a nursery). The single-task machine's safe points are its allocation
+	// instructions: a cycle starts there when occupancy crosses
+	// ConcTriggerPct, one budgeted mark slice runs per allocation while the
+	// cycle is active, and the final pause re-scans the stack at the next
+	// allocation after the gray queue drains. See gc/concurrent.go.
+	GCConcurrent bool
+	// ConcTriggerPct is the occupancy watermark, in percent of the heap's
+	// words, that starts a concurrent cycle (0 = 75).
+	ConcTriggerPct int
+
 	zeroFill bool
 	stack    []code.Word
 	sp       int
 	shadow   []shadowFrame
+	// concAbortSeen is the ConcAborts count at the last safe point; a delta
+	// with no active cycle means the write barrier aborted mid-run and the
+	// heap still needs a stop-the-world reclaim.
+	concAbortSeen int64
+	// concLastEnd is heap occupancy right after the last collection of any
+	// kind — the trigger's hysteresis baseline (see concAdvance).
+	concLastEnd int
 }
 
 // shadowFrame is interpreter bookkeeping only (function identity per
@@ -119,7 +137,14 @@ func (vm *VM) Run() (code.Word, error) {
 	if _, err := vm.call(vm.Prog.InitFunc, nil); err != nil {
 		return 0, err
 	}
-	return vm.call(vm.Prog.MainFunc, []code.Word{code.EncodeInt(vm.Prog.Repr, 0)})
+	res, err := vm.call(vm.Prog.MainFunc, []code.Word{code.EncodeInt(vm.Prog.Repr, 0)})
+	if err == nil && vm.Col.ConcActive() {
+		// The program ended with a cycle in flight: finish it over the
+		// globals alone so the sweep, the telemetry record and the verifier
+		// all still run rather than abandoning a half-marked heap.
+		vm.Col.ConcFinish(nil, vm.Globals)
+	}
+	return res, err
 }
 
 func (vm *VM) errf(pc, fidx int, format string, args ...any) *RuntimeError {
@@ -180,11 +205,17 @@ func (vm *VM) atom(fp int, w code.Word) code.Word {
 // when the heap has a nursery and the remembered set is trustworthy).
 func (vm *VM) collect(pc, fp int) {
 	vm.Col.Collect(vm.roots(pc, fp), vm.Globals)
+	// A stop-the-world collection aborts any concurrent cycle itself; the
+	// heap is reclaimed, so the abort needs no further fallback collect.
+	vm.concAbortSeen = vm.Col.Telem.Resilience.ConcAborts
+	vm.concLastEnd = vm.Heap.OccupiedWords()
 }
 
 // fullCollect forces a full (major) collection regardless of nursery state.
 func (vm *VM) fullCollect(pc, fp int) {
 	vm.Col.CollectFull(vm.roots(pc, fp), vm.Globals)
+	vm.concAbortSeen = vm.Col.Telem.Resilience.ConcAborts
+	vm.concLastEnd = vm.Heap.OccupiedWords()
 }
 
 // tenureCollect runs a full collection that promotes every nursery
@@ -195,6 +226,53 @@ func (vm *VM) tenureCollect(pc, fp int) {
 	vm.Heap.SetTenureAll(true)
 	vm.fullCollect(pc, fp)
 	vm.Heap.SetTenureAll(false)
+}
+
+// concAdvance drives the concurrent collector at an allocation safe point:
+// start a cycle at the occupancy watermark, run one mark slice per
+// allocation while it is active, finish when the gray queue drains, and
+// fall back to a stop-the-world collection when the slice watchdog trips.
+func (vm *VM) concAdvance(pc, fp int) {
+	if !vm.Col.ConcActive() {
+		if ab := vm.Col.Telem.Resilience.ConcAborts; ab != vm.concAbortSeen {
+			// The write barrier aborted the cycle since the last safe point
+			// (a non-ground store it cannot type): reclaim with an ordinary
+			// stop-the-world collection — the fallback the abort rung
+			// promises — before the trigger may re-arm.
+			vm.concAbortSeen = ab
+			vm.Col.CollectFull(vm.roots(pc, fp), vm.Globals)
+			return
+		}
+		pct := vm.ConcTriggerPct
+		if pct <= 0 {
+			pct = 75
+		}
+		// Occupancy, not Used(): the mark/sweep bump pointer saturates once
+		// the region fills while freed storage parks on the free lists.
+		occ := vm.Heap.OccupiedWords()
+		if 100*occ < pct*vm.Heap.SemiWords() {
+			return
+		}
+		// Hysteresis: a mostly-live heap sitting above the watermark must
+		// not re-cycle on every allocation reclaiming nothing — require
+		// real growth since the last collection.
+		if occ < vm.concLastEnd+vm.Heap.SemiWords()/8 {
+			return
+		}
+		vm.Col.ConcStart(vm.roots(pc, fp), vm.Globals)
+		return
+	}
+	switch vm.Col.ConcSlice() {
+	case gc.ConcDrained:
+		vm.Col.ConcFinish(vm.roots(pc, fp), vm.Globals)
+		vm.concLastEnd = vm.Heap.OccupiedWords()
+	case gc.ConcOverBudget:
+		// The watchdog rung: abort the cycle and reclaim with an ordinary
+		// stop-the-world collection right here.
+		vm.Col.ConcAbort()
+		vm.concAbortSeen = vm.Col.Telem.Resilience.ConcAborts
+		vm.Col.CollectFull(vm.roots(pc, fp), vm.Globals)
+	}
 }
 
 func (vm *VM) roots(pc, fp int) []gc.TaskRoots {
@@ -245,6 +323,13 @@ func (vm *VM) ensureHeap(n, pc, fp, fidx int) error {
 			vm.Col.Telem.Resilience.LadderRecovered++
 		}
 		return nil
+	}
+	if vm.GCConcurrent {
+		// Allocation instructions are the single-task machine's safe points:
+		// pc carries a frame map here, so the cycle's pauses may scan the
+		// stack. A genuine exhaustion below still works mid-cycle — the
+		// stop-the-world collect aborts the cycle automatically.
+		vm.concAdvance(pc, fp)
 	}
 	if f := vm.Col.Faults; f != nil {
 		switch {
@@ -442,6 +527,13 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 			vm.Heap.SetField(obj, int(c[pc+2]), v)
 			if nursery {
 				vm.barrier(pc, obj, int(c[pc+2]), v)
+			} else if vm.GCConcurrent && vm.Col.ConcActive() {
+				// Incremental-update barrier: gray the stored value so a
+				// field of an already-scanned object re-pointed at an
+				// unmarked target cannot hide it from the cycle.
+				if d := vm.Prog.StoreDescs[pc]; d != nil {
+					vm.Col.ConcBarrier(d, v)
+				}
 			}
 			pc += 4
 
