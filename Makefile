@@ -26,16 +26,21 @@
 # the race detector, plus the committed concurrent-torture scenario —
 # gc_concurrent cycling continuously in a tight heap with the verifier
 # on, and gc_concurrent crossed with torture so every forced collection
-# aborts an in-flight cycle.
+# aborts an in-flight cycle. tier2-shard is the sharded-heap pass: the
+# shard differential, interleaving-fuzz, gating and OOM-ladder suites
+# plus the sharded overload-ledger test under the race detector, and the
+# committed shard-torture scenario — per-shard minors with the verifier
+# walking the whole heap after each, and injected failures climbing the
+# global ladder with the nursery split four ways.
 
-.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent bench bench-json fuzz fuzz-scenario
+.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent tier2-shard bench bench-json fuzz fuzz-scenario
 
 tier1:
 	go build ./...
 	go vet ./...
 	go test ./...
 
-tier2: tier1 tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent
+tier2: tier1 tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent tier2-shard
 	go test -race ./...
 	go test -run TestDifferential -count=1 ./internal/pipeline/
 
@@ -60,6 +65,11 @@ tier2-concurrent:
 	go test -race -run 'TestDifferentialConcurrent|TestConcurrent' -count=1 -timeout 30m ./internal/pipeline/
 	go run -race ./cmd/tfbench -scenario testdata/scenarios/concurrent-torture.tfs >/dev/null
 
+tier2-shard:
+	go test -race -run 'TestDifferentialShards|TestShard' -count=1 -timeout 30m ./internal/pipeline/
+	go test -race -run TestShardedOverloadLedgerBalances -count=1 -timeout 30m ./internal/serve/
+	go run -race ./cmd/tfbench -scenario testdata/scenarios/shard-torture.tfs >/dev/null
+
 tier2-torture: tier1
 	GC_TORTURE_FULL=1 go test -race -run 'TestTorture|TestRecoveryLadder|TestWatchdog' -count=1 -timeout 30m ./internal/pipeline/
 
@@ -73,8 +83,8 @@ bench:
 # Regenerate the committed benchmark snapshot (schema tagfree-bench/v1);
 # fixed repeats so snapshots are comparable across the repo's history.
 # Override the output for a new trajectory point:
-#   make bench-json BENCH_OUT=BENCH_PR9.json
-BENCH_OUT ?= BENCH_PR8.json
+#   make bench-json BENCH_OUT=BENCH_PR10.json
+BENCH_OUT ?= BENCH_PR9.json
 bench-json:
 	go run ./cmd/tfbench -repeats 3 -bench-json $(BENCH_OUT)
 

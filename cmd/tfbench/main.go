@@ -1,4 +1,4 @@
-// Command tfbench regenerates the experiment tables (E1–E15; see
+// Command tfbench regenerates the experiment tables (E1–E16; see
 // EXPERIMENTS.md). With arguments, it runs only the named experiments.
 //
 //	tfbench              # all experiments
@@ -35,6 +35,7 @@ func main() {
 	nursery := flag.Int("gc-nursery", 0, "generational nursery size in words per young half (telemetry report)")
 	tlab := flag.Int("tlab", 0, "per-task allocation buffer chunk in words (telemetry report)")
 	gcConc := flag.Bool("gc-concurrent", false, "mostly-concurrent marking on the mark/sweep rows (telemetry report)")
+	shards := flag.Int("shards", 0, "heap shards with independent minor collections (telemetry report; needs -gc-nursery)")
 	benchJSON := flag.String("bench-json", "", "write the benchmark snapshot (schema tagfree-bench/v1) to this file and exit; \"-\" for stdout")
 	scenarioPath := flag.String("scenario", "", "run the scenario matrix from a .tfs file or a directory of .tfs files")
 	flag.Parse()
@@ -65,8 +66,9 @@ func main() {
 		"e13": experiments.E13ScenarioMatrix,
 		"e14": experiments.E14Overload,
 		"e15": func() *experiments.Table { return experiments.E15ConcurrentMark(*repeats) },
+		"e16": experiments.E16ShardedMinors,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -74,7 +76,7 @@ func main() {
 	}
 	for _, name := range selected {
 		if strings.EqualFold(name, "telemetry") {
-			telemetryReport(*par, *asJSON, *verifyHeap, *torture, *nursery, *tlab, *gcConc)
+			telemetryReport(*par, *asJSON, *verifyHeap, *torture, *nursery, *tlab, *gcConc, *shards)
 			continue
 		}
 		r, ok := runners[strings.ToLower(name)]
@@ -163,7 +165,7 @@ func writeBenchSnapshot(path string, repeats int) {
 // generationally (tier2-nursery combines all three under -race); tlab > 0
 // gives each task a private allocation buffer of that many words and grows
 // the refill/fast/shared/waste columns plus the cumulative tlab line.
-func telemetryReport(par int, asJSON, verify, torture bool, nursery, tlab int, conc bool) {
+func telemetryReport(par int, asJSON, verify, torture bool, nursery, tlab int, conc bool, shards int) {
 	for _, w := range workloads.Tasking {
 		for _, ms := range []bool{false, true} {
 			opts := pipeline.Options{
@@ -175,6 +177,9 @@ func telemetryReport(par int, asJSON, verify, torture bool, nursery, tlab int, c
 				Torture:      torture,
 				NurseryWords: nursery,
 				TLABWords:    tlab,
+			}
+			if shards > 1 && nursery > 0 {
+				opts.Shards = shards
 			}
 			if conc && ms && nursery == 0 && par <= 1 {
 				// -gc-concurrent applies only where the incremental marker

@@ -76,6 +76,7 @@ func cli(args []string, stdout io.Writer) error {
 	concPct := fs.Int("gc-conc-trigger", 0, "heap-occupancy percent that starts a concurrent cycle (0 = 75)")
 	concBudget := fs.Int("gc-conc-budget", 0, "words marked per concurrent slice (0 = default)")
 	concSlices := fs.Int("gc-conc-maxslices", 0, "slice watchdog before a cycle aborts to stop-the-world (0 = derived)")
+	shards := fs.Int("shards", 0, "partition tasks and nursery into N heap shards with independent minor collections (needs -gc-nursery)")
 	verifyHeap := fs.Bool("verify-heap", false, "verify heap invariants after every collection")
 	torture := fs.Bool("gc-torture", false, "collect before every allocation")
 	failNth := fs.Int64("fail-alloc", 0, "inject one allocation failure at the Nth allocation")
@@ -152,6 +153,7 @@ func cli(args []string, stdout io.Writer) error {
 			ConcTriggerPct:   *concPct,
 			ConcMarkBudget:   *concBudget,
 			ConcMaxSlices:    *concSlices,
+			Shards:           *shards,
 		},
 		Period:      *period,
 		Burst:       *burst,

@@ -342,6 +342,12 @@ func (c *Collector) shouldMinor() bool {
 	return c.nurseryOn() && !c.genForceMajor
 }
 
+// MinorEligible reports whether a minor collection (global or single-shard)
+// is currently permissible. The sharded scheduler consults it before
+// attempting a shard minor: a poisoned remembered set forces the next
+// collection to be a full one regardless of shard.
+func (c *Collector) MinorEligible() bool { return c.shouldMinor() }
+
 // CollectFull runs one full (major) collection over all task stacks and
 // globals. On a nursery heap it also rebuilds the remembered set from the
 // old→young edges the trace observes, discharging any force-major
@@ -401,7 +407,7 @@ func (c *Collector) CollectFull(tasks []TaskRoots, globals []code.Word) {
 	c.Heap.EndGC()
 	pause := time.Since(start).Nanoseconds()
 	c.Stats.PauseNS += pause
-	c.Telem.record(c, kind, pause, parallel, fallback, scans, usedBefore, statsBefore, heapBefore)
+	c.Telem.record(c, kind, 0, pause, parallel, fallback, scans, usedBefore, statsBefore, heapBefore)
 	if c.Verify {
 		c.verifyCollection(tasks, globals)
 	}
@@ -440,7 +446,50 @@ func (c *Collector) collectMinor(tasks []TaskRoots, globals []code.Word) {
 	c.refilterRemembered()
 	pause := time.Since(start).Nanoseconds()
 	c.Stats.PauseNS += pause
-	c.Telem.record(c, "minor", pause, false, false, scans, usedBefore, statsBefore, heapBefore)
+	c.Telem.record(c, "minor", 0, pause, false, false, scans, usedBefore, statsBefore, heapBefore)
+	if c.Verify {
+		c.verifyCollection(tasks, globals)
+	}
+}
+
+// CollectMinorShard evacuates a single nursery shard: tasks must be exactly
+// the roots of the tasks assigned to that shard, and the caller (the
+// sharded tasking scheduler) must have established the shard's isolation
+// invariant — no pointer into the shard's young generation lives outside
+// those tasks' stacks, the globals, the shard's own young objects, and the
+// remembered set — and retired the shard's young TLABs. Other shards'
+// mutators, buffers and bump pointers are untouched, which is the point:
+// they keep running while this shard collects. Unlike Collect, there is no
+// fallback here; callers check MinorEligible and escalate to a global
+// collection themselves when a shard minor is not permitted or did not
+// free enough.
+func (c *Collector) CollectMinorShard(shard int, tasks []TaskRoots, globals []code.Word) {
+	if !c.shouldMinor() {
+		panic("gc: CollectMinorShard without minor eligibility (check MinorEligible)")
+	}
+	start := time.Now()
+	c.Stats.Collections++
+	c.lastMinor = true
+	c.Gen.MinorCollections++
+	statsBefore := c.Stats
+	heapBefore := c.Heap.Stats
+	usedBefore := c.Heap.Used() + c.Heap.YoungUsed()
+	c.resetScratches()
+	c.Heap.BeginMinorGCShard(shard)
+	c.genTracking = true
+
+	c.traceGlobals(globals)
+	scans := make([]TaskScan, len(tasks))
+	c.collectSerial(tasks, scans)
+	c.traceRememberedShard(shard)
+
+	c.Stats.TypeGCBuilt = c.b.Built
+	c.genTracking = false
+	c.Heap.EndMinorGC()
+	c.refilterRemembered()
+	pause := time.Since(start).Nanoseconds()
+	c.Stats.PauseNS += pause
+	c.Telem.record(c, "minor", shard+1, pause, false, false, scans, usedBefore, statsBefore, heapBefore)
 	if c.Verify {
 		c.verifyCollection(tasks, globals)
 	}

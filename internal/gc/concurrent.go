@@ -230,7 +230,7 @@ func (c *Collector) ConcFinish(tasks []TaskRoots, globals []code.Word) {
 	finalPause := time.Since(start).Nanoseconds()
 	c.Stats.PauseNS += finalPause
 	c.conc = nil
-	c.Telem.record(c, "", cy.initialPauseNS+finalPause, false, false, scans,
+	c.Telem.record(c, "", 0, cy.initialPauseNS+finalPause, false, false, scans,
 		cy.usedBefore, cy.statsBefore, cy.heapBefore)
 	c.Telem.Records[len(c.Telem.Records)-1].Conc = &ConcRecord{
 		InitialPauseNS: cy.initialPauseNS,

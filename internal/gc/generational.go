@@ -197,6 +197,24 @@ func (c *Collector) traceRemembered() {
 	}
 }
 
+// traceRememberedShard is traceRemembered restricted to one nursery shard:
+// only entries whose field currently holds a pointer into that shard are
+// re-traced. Entries for other shards stay untraced and untouched — their
+// shards are not being collected, so their targets do not move. The same
+// growing-slice iteration safety argument applies.
+func (c *Collector) traceRememberedShard(shard int) {
+	for i := 0; i < len(c.remembered); i++ {
+		e := c.remembered[i] // copy: the slice may grow or move mid-loop
+		v := c.Heap.Field(e.obj, int(e.field))
+		if !c.Heap.InYoungShard(v, shard) {
+			continue
+		}
+		nv := e.g.Trace(c, v)
+		c.Heap.SetField(e.obj, int(e.field), nv)
+		c.Stats.SlotsTraced++
+	}
+}
+
 // refilterRemembered drops entries whose field no longer holds a young
 // pointer (the target was promoted, or the field was overwritten before the
 // collection). Keeping a stale-but-young-looking word is safe; dropping a

@@ -33,6 +33,10 @@ type CollectionRecord struct {
 	// Kind is "minor" or "major" on a generational heap, empty otherwise
 	// (so non-nursery runs keep their exact pre-generational JSON).
 	Kind string `json:"gc_kind,omitempty"`
+	// Shard is the 1-based nursery shard a single-shard minor collected;
+	// 0 (omitted) for global collections, so unsharded runs keep their
+	// exact prior JSON.
+	Shard int `json:"shard,omitempty"`
 	// Parallelism is the worker count that actually scanned (1 when the
 	// sequential path ran, whatever Collector.Parallelism was).
 	Parallelism int `json:"parallelism"`
@@ -221,9 +225,10 @@ type ResilienceStats struct {
 }
 
 // record appends one collection's telemetry. kind is "minor"/"major" on a
-// nursery heap, "" otherwise; statsBefore/heapBefore are snapshots from the
-// top of the collection; usedBefore the pre-flip occupancy (old + young).
-func (t *Telemetry) record(c *Collector, kind string, pauseNS int64, parallel, fallback bool, scans []TaskScan, usedBefore int, statsBefore Stats, heapBefore heap.Stats) {
+// nursery heap, "" otherwise; shard is the 1-based shard of a single-shard
+// minor (0 = global); statsBefore/heapBefore are snapshots from the top of
+// the collection; usedBefore the pre-flip occupancy (old + young).
+func (t *Telemetry) record(c *Collector, kind string, shard int, pauseNS int64, parallel, fallback bool, scans []TaskScan, usedBefore int, statsBefore Stats, heapBefore heap.Stats) {
 	if t.Strategy == "" {
 		t.Strategy = c.Strat.String()
 		if c.Heap.Kind() == heap.MarkSweep {
@@ -262,6 +267,7 @@ func (t *Telemetry) record(c *Collector, kind string, pauseNS int64, parallel, f
 		Seq:            len(t.Records),
 		PauseNS:        pauseNS,
 		Kind:           kind,
+		Shard:          shard,
 		Parallelism:    par,
 		UsedBefore:     int64(usedBefore),
 		LiveWords:      live,

@@ -199,7 +199,8 @@ func (h *Heap) ActiveSnapshot() []code.Word {
 func (h *Heap) Need(n int) bool {
 	total := h.objWords(n)
 	if h.young.enabled && total <= h.young.youngWords {
-		return h.young.youngAlloc+total > h.young.youngOff+h.young.youngWords
+		s := &h.young.shards[h.young.allocShard]
+		return s.youngAlloc+total > s.youngOff+h.young.youngWords
 	}
 	if h.kind == MarkSweep {
 		return !h.msCanAlloc(total)
@@ -227,8 +228,9 @@ func (h *Heap) Alloc(n int) (code.Word, error) {
 		if ptr, ok := h.youngAllocFast(total); ok {
 			return ptr, nil
 		}
+		s := &h.young.shards[h.young.allocShard]
 		return 0, &OutOfMemoryError{Discipline: "nursery", Requested: total,
-			Free: h.young.youngOff + h.young.youngWords - h.young.youngAlloc}
+			Free: s.youngOff + h.young.youngWords - s.youngAlloc}
 	}
 	if h.kind == MarkSweep {
 		return h.msAlloc(total)
@@ -538,7 +540,7 @@ func (h *Heap) Grow(newWords int) error {
 		return nil
 	}
 	mem := make([]code.Word, h.fromOff+2*newWords)
-	copy(mem[:2*h.young.youngWords], h.mem[:2*h.young.youngWords])
+	copy(mem[:h.young.prefixWords()], h.mem[:h.young.prefixWords()])
 	copy(mem[h.fromOff:], h.mem[h.fromOff:h.alloc])
 	h.mem = mem
 	h.toOff = h.fromOff + newWords

@@ -92,7 +92,7 @@ func (h *Heap) msAlloc(n int) (code.Word, error) {
 // need tracing (first visit).
 func (h *Heap) VisitObject(ptr code.Word, n int) (code.Word, bool) {
 	if h.young.enabled {
-		if base := h.addrIndex(ptr); base < 2*h.young.youngWords {
+		if base := h.addrIndex(ptr); base < h.young.prefixWords() {
 			return h.youngVisit(ptr, base, n)
 		}
 		if h.young.minorGC {
@@ -135,7 +135,7 @@ func (h *Heap) VisitShared(ptr code.Word, n int) (code.Word, bool) {
 		panic("VisitShared: parallel visits require a mark/sweep heap")
 	}
 	base := h.addrIndex(ptr)
-	if h.young.enabled && base < 2*h.young.youngWords {
+	if h.young.enabled && base < h.young.prefixWords() {
 		// Young objects move during evacuation; parallel marking cannot
 		// handle them. Nursery collections run the serial path.
 		panic("VisitShared: young object reached by a parallel marker")
@@ -235,13 +235,14 @@ func (h *Heap) checkAccess(ptr code.Word, i int) {
 		return
 	}
 	base := h.addrIndex(ptr)
-	if h.young.enabled && base < 2*h.young.youngWords {
+	if h.young.enabled && base < h.young.prefixWords() {
 		if h.inGC {
 			return // evacuation reads both halves mid-collection
 		}
-		if base < h.young.youngOff || base >= h.young.youngAlloc {
+		s := &h.young.shards[h.youngShardOf(base)]
+		if base < s.youngOff || base >= s.youngAlloc {
 			panic(fmt.Sprintf("heap: field access to young offset %d outside the live nursery [%d, %d)",
-				base, h.young.youngOff, h.young.youngAlloc))
+				base, s.youngOff, s.youngAlloc))
 		}
 		return
 	}

@@ -13,61 +13,136 @@ import (
 // old→young *heap* stores (Appel's "Simple Generational Garbage Collection
 // and Fast Allocation" applied to the tag-free setting).
 //
-// Layout: the nursery is two young halves placed at the *front* of the word
-// array, below both disciplines' regions:
+// Layout: the nursery is a set of shards — one per task group under
+// -shards N, a single shard otherwise — each shard two young halves,
+// placed at the *front* of the word array, below both disciplines'
+// regions:
 //
-//	mem = [ young half 0 | young half 1 | old region(s) ... ]
+//	mem = [ sh0 half0 | sh0 half1 | sh1 half0 | sh1 half1 | ... | old ]
 //
 // Young offsets are therefore fixed for the life of the heap — Grow extends
 // only the old region above them, so growing never moves a young object and
 // the recovery ladder works unchanged mid-nursery. A pointer is young iff
-// its offset is below 2*youngWords; the write barrier is two compares.
+// its offset is below shards*2*youngWords; its owning shard is the offset
+// divided by the per-shard extent. The write barrier stays two compares.
 //
-// Allocation in the nursery is a pure bump. Every collection (minor or
-// major) evacuates the active young half: an object that has survived
-// promoteAfter collections is copied into the old region (the discipline's
-// normal allocation: semispace bump under copying, bump-or-free-list under
-// mark/sweep); younger survivors are copied to the other young half with
-// their age incremented, Cheney-style between the two halves. If the old
-// region cannot take a promotion the object simply stays young another
-// cycle — promotion degrades instead of failing, so a collection can never
-// overflow: young survivors always fit in the other half.
+// Allocation in the nursery is a pure bump in the allocation shard's
+// active half (SetAllocShard routes each task to its shard; a single-shard
+// heap never changes it). Every collection evacuates active young halves:
+// an object that has survived promoteAfter collections is copied into the
+// shared old region (the discipline's normal allocation: semispace bump
+// under copying, bump-or-free-list under mark/sweep); younger survivors
+// are copied to their shard's other half with their age incremented,
+// Cheney-style between the two halves. If the old region cannot take a
+// promotion the object simply stays young another cycle — promotion
+// degrades instead of failing, so a collection can never overflow: young
+// survivors always fit in the other half.
+//
+// A *global* collection (minor or major) evacuates every shard. A *shard*
+// minor (BeginMinorGCShard) evacuates exactly one shard's active half and
+// leaves every other shard's mutators and objects untouched — the
+// scheduler guarantees, via its exposure tracking, that no pointer into
+// the collected shard lives outside that shard's task stacks, its own
+// young objects, and the remembered set, so the trace is complete without
+// stopping anyone else.
 //
 // During a *minor* collection old objects are not traced at all:
 // VisitObject returns them untouched, so the existing typed trace
 // (frame plans, kernels, recursive TypeGC walks) stops at the young/old
 // boundary automatically and only the remembered set (owned by the
-// collector, see internal/gc) re-traces interior old→young edges.
-// During a *major*, old objects take the discipline's normal path and the
-// young half is evacuated by the same aging rules in the same trace.
+// collector, see internal/gc) re-traces interior old→young edges. During
+// a *shard* minor, other shards' young objects are likewise returned
+// untouched. During a *major*, old objects take the discipline's normal
+// path and every young half is evacuated by the same aging rules in the
+// same trace.
 type nursery struct {
 	enabled bool
-	// youngWords is the size of each half.
+	// youngWords is the size of each half (same for every shard).
 	youngWords int
-	// youngOff is the base offset of the active half (0 or youngWords).
-	youngOff int
-	// youngAlloc is the bump pointer in the active half (absolute offset).
-	youngAlloc int
-	// youngEvac is the bump pointer in the inactive half during a
-	// collection (survivor destination).
-	youngEvac int
-	// youngFwd forwards evacuated objects within one collection: indexed
-	// by offset within the from-half, -1 = not yet visited. Reset after
-	// every collection (side bookkeeping, like the copying forward table).
-	youngFwd []int
-	// ages[i] holds per-object survival counts for half i, indexed by the
-	// object's base offset within that half.
-	ages [2][]uint8
+	// shards holds the per-shard nursery state; a non-sharded heap has
+	// exactly one.
+	shards []nurseryShard
+	// allocShard routes young allocation (and TLAB carves) to one shard's
+	// active half. The tasking scheduler sets it before each task's
+	// quantum; single-shard heaps leave it 0.
+	allocShard int
 	// promoteAfter is the survival count at which an object is tenured.
 	promoteAfter uint8
 	// minorGC is true while the in-progress collection is a minor one.
 	minorGC bool
+	// minorShard is the shard being collected by an in-progress shard
+	// minor, or -1 when the collection (minor or major) spans all shards.
+	minorShard int
 	// tenureAll promotes every survivor regardless of age. The recovery
 	// ladder sets it for its escalation collections: without it, survivors
 	// below promoteAfter would stay young through any number of full
 	// collections and grows (Grow extends only the old region), so a
 	// young-sized Need could stay unsatisfiable forever.
 	tenureAll bool
+}
+
+// nurseryShard is one shard's two-half young generation. All offsets are
+// absolute mem indexes.
+type nurseryShard struct {
+	// base is the offset of the shard's half 0; half 1 starts at
+	// base+youngWords.
+	base int
+	// youngOff is the base offset of the active half (base or
+	// base+youngWords).
+	youngOff int
+	// youngAlloc is the bump pointer in the active half.
+	youngAlloc int
+	// youngEvac is the bump pointer in the inactive half during a
+	// collection (survivor destination).
+	youngEvac int
+	// youngFwd forwards evacuated objects within one collection: indexed
+	// by offset within the from-half, -1 = not yet visited. Reset after
+	// every collection that evacuated this shard (side bookkeeping, like
+	// the copying forward table).
+	youngFwd []int
+	// ages[i] holds per-object survival counts for half i, indexed by the
+	// object's base offset within that half.
+	ages [2][]uint8
+}
+
+// activeIdx returns the shard's active half index (0 or 1).
+func (s *nurseryShard) activeIdx() int {
+	if s.youngOff == s.base {
+		return 0
+	}
+	return 1
+}
+
+// armEvac points the shard's evacuation bump at its inactive half.
+func (s *nurseryShard) armEvac(youngWords int) {
+	if s.youngOff == s.base {
+		s.youngEvac = s.base + youngWords
+	} else {
+		s.youngEvac = s.base
+	}
+}
+
+// flip makes the inactive half (holding this collection's survivors)
+// active and resets the forwarding table for the next cycle.
+func (s *nurseryShard) flip(youngWords int) {
+	if s.youngOff == s.base {
+		s.youngOff = s.base + youngWords
+	} else {
+		s.youngOff = s.base
+	}
+	s.youngAlloc = s.youngEvac
+	for i := range s.youngFwd {
+		s.youngFwd[i] = -1
+	}
+}
+
+// prefixWords is the young prefix extent: every offset below it is young,
+// everything at or above it is the old region. Zero without a nursery.
+func (n *nursery) prefixWords() int {
+	if !n.enabled {
+		return 0
+	}
+	return len(n.shards) * 2 * n.youngWords
 }
 
 // EnableNursery re-lays the heap out with a generational nursery of
@@ -77,6 +152,13 @@ type nursery struct {
 // and only on a tag-free heap: young objects are headerless and evacuation
 // is type-directed, exactly like the rest of the collector.
 func (h *Heap) EnableNursery(youngWords, promoteAfter int) {
+	h.EnableNurseryShards(youngWords, promoteAfter, 1)
+}
+
+// EnableNurseryShards is EnableNursery with the young prefix partitioned
+// into shards independent two-half nurseries (see the package comment on
+// sharding). Shard 0 is the initial allocation shard.
+func (h *Heap) EnableNurseryShards(youngWords, promoteAfter, shards int) {
 	if h.Repr != code.ReprTagFree {
 		panic("EnableNursery: the nursery requires the tag-free representation")
 	}
@@ -85,6 +167,9 @@ func (h *Heap) EnableNursery(youngWords, promoteAfter int) {
 	}
 	if youngWords <= 0 {
 		panic("EnableNursery: youngWords must be positive")
+	}
+	if shards < 1 {
+		panic("EnableNursery: shard count must be at least 1")
 	}
 	if promoteAfter < 1 {
 		promoteAfter = 1
@@ -95,17 +180,24 @@ func (h *Heap) EnableNursery(youngWords, promoteAfter int) {
 	n := &h.young
 	n.enabled = true
 	n.youngWords = youngWords
-	n.youngOff = 0
-	n.youngAlloc = 0
+	n.allocShard = 0
+	n.minorShard = -1
 	n.promoteAfter = uint8(promoteAfter)
-	n.youngFwd = make([]int, youngWords)
-	for i := range n.youngFwd {
-		n.youngFwd[i] = -1
+	n.shards = make([]nurseryShard, shards)
+	for i := range n.shards {
+		s := &n.shards[i]
+		s.base = i * 2 * youngWords
+		s.youngOff = s.base
+		s.youngAlloc = s.base
+		s.youngFwd = make([]int, youngWords)
+		for j := range s.youngFwd {
+			s.youngFwd[j] = -1
+		}
+		s.ages[0] = make([]uint8, youngWords)
+		s.ages[1] = make([]uint8, youngWords)
 	}
-	n.ages[0] = make([]uint8, youngWords)
-	n.ages[1] = make([]uint8, youngWords)
 
-	shift := 2 * youngWords
+	shift := n.prefixWords()
 	if h.kind == MarkSweep {
 		h.mem = make([]code.Word, shift+h.semi)
 		h.fromOff, h.toOff = shift, shift
@@ -130,14 +222,64 @@ func (h *Heap) NurseryEnabled() bool { return h.young.enabled }
 // YoungWords returns the nursery half size (0 without a nursery).
 func (h *Heap) YoungWords() int { return h.young.youngWords }
 
-// YoungUsed returns the words allocated in the active young half.
-func (h *Heap) YoungUsed() int { return h.young.youngAlloc - h.young.youngOff }
+// YoungTotalWords returns the heap's total young allocation capacity: one
+// active half per shard. This is the figure occupancy-based policies
+// (serve's load shedding) must use — YoungWords alone under-counts a
+// sharded heap.
+func (h *Heap) YoungTotalWords() int {
+	if !h.young.enabled {
+		return 0
+	}
+	return len(h.young.shards) * h.young.youngWords
+}
+
+// YoungUsed returns the words allocated across every shard's active half.
+func (h *Heap) YoungUsed() int {
+	used := 0
+	for i := range h.young.shards {
+		s := &h.young.shards[i]
+		used += s.youngAlloc - s.youngOff
+	}
+	return used
+}
+
+// YoungUsedShard returns the words allocated in one shard's active half.
+func (h *Heap) YoungUsedShard(shard int) int {
+	s := &h.young.shards[shard]
+	return s.youngAlloc - s.youngOff
+}
+
+// NurseryShards returns the number of nursery shards (0 without a
+// nursery, 1 for the unsharded layout).
+func (h *Heap) NurseryShards() int { return len(h.young.shards) }
+
+// AllocShard returns the shard young allocation currently routes to.
+func (h *Heap) AllocShard() int { return h.young.allocShard }
+
+// SetAllocShard routes subsequent young allocation (bump fast path and
+// TLAB carves) to the given shard's active half. The tasking scheduler
+// calls it before each task's quantum.
+func (h *Heap) SetAllocShard(shard int) {
+	if shard < 0 || shard >= len(h.young.shards) {
+		panic(fmt.Sprintf("SetAllocShard: shard %d out of range (%d shards)", shard, len(h.young.shards)))
+	}
+	h.young.allocShard = shard
+}
 
 // PromoteAfter returns the survival count at which objects are tenured.
 func (h *Heap) PromoteAfter() int { return int(h.young.promoteAfter) }
 
 // MinorActive reports whether a minor collection is in progress.
 func (h *Heap) MinorActive() bool { return h.inGC && h.young.minorGC }
+
+// MinorShard returns the shard an in-progress shard minor is collecting,
+// or -1 when the current collection spans all shards (or none is active).
+func (h *Heap) MinorShard() int {
+	if !h.inGC {
+		return -1
+	}
+	return h.young.minorShard
+}
 
 // SetTenureAll switches the nursery into (or out of) tenure-everything
 // mode for subsequent collections. See nursery.tenureAll.
@@ -151,69 +293,77 @@ func (h *Heap) InYoung(w code.Word) bool {
 		return false
 	}
 	off := int(w) - code.HeapBase
-	return off >= 0 && off < 2*h.young.youngWords
+	return off >= 0 && off < h.young.prefixWords()
 }
 
 // InOld reports whether w is a pointer into the old region.
 func (h *Heap) InOld(w code.Word) bool {
 	off := int(w) - code.HeapBase
-	return off >= 2*h.young.youngWords && off < len(h.mem)
+	return off >= h.young.prefixWords() && off < len(h.mem)
 }
 
-// youngActiveIdx returns the active half's index (0 or 1).
-func (h *Heap) youngActiveIdx() int {
-	if h.young.youngOff == 0 {
-		return 0
-	}
-	return 1
+// youngShardOf returns the shard owning a young mem offset.
+func (h *Heap) youngShardOf(base int) int {
+	return base / (2 * h.young.youngWords)
 }
 
-// youngAllocFast bump-allocates total words in the active young half,
-// or reports false when the half cannot take the request.
+// YoungShardOf returns the shard owning young pointer w. Callers must
+// have established InYoung(w) first.
+func (h *Heap) YoungShardOf(w code.Word) int {
+	return h.youngShardOf(int(w) - code.HeapBase)
+}
+
+// InYoungShard reports whether w is a young pointer owned by the given
+// shard.
+func (h *Heap) InYoungShard(w code.Word, shard int) bool {
+	return h.InYoung(w) && h.YoungShardOf(w) == shard
+}
+
+// youngAllocFast bump-allocates total words in the allocation shard's
+// active half, or reports false when that half cannot take the request.
 func (h *Heap) youngAllocFast(total int) (code.Word, bool) {
 	n := &h.young
-	if n.youngAlloc+total > n.youngOff+n.youngWords {
+	s := &n.shards[n.allocShard]
+	if s.youngAlloc+total > s.youngOff+n.youngWords {
 		return 0, false
 	}
-	base := n.youngAlloc
-	n.youngAlloc += total
-	n.ages[h.youngActiveIdx()][base-n.youngOff] = 0
+	base := s.youngAlloc
+	s.youngAlloc += total
+	s.ages[s.activeIdx()][base-s.youngOff] = 0
 	h.spansValid = false
 	h.Stats.Allocations++
 	h.Stats.WordsAllocated += int64(total)
 	return code.EncodePtr(h.Repr, code.HeapBase+base), true
 }
 
-// beginYoungGC arms survivor evacuation into the inactive half.
+// beginYoungGC arms survivor evacuation into every shard's inactive half
+// (global collections evacuate all shards).
 func (h *Heap) beginYoungGC(minor bool) {
 	n := &h.young
 	n.minorGC = minor
-	if n.youngOff == 0 {
-		n.youngEvac = n.youngWords
-	} else {
-		n.youngEvac = 0
+	n.minorShard = -1
+	for i := range n.shards {
+		n.shards[i].armEvac(n.youngWords)
 	}
 }
 
-// endYoungGC flips the halves: survivors become the new active half's
-// prefix and the forwarding table is reset for the next cycle.
+// endYoungGC flips the evacuated shards' halves: survivors become each new
+// active half's prefix. A shard minor flips only its own shard.
 func (h *Heap) endYoungGC() {
 	n := &h.young
-	if n.youngOff == 0 {
-		n.youngOff = n.youngWords
-	} else {
-		n.youngOff = 0
+	for i := range n.shards {
+		if n.minorShard >= 0 && i != n.minorShard {
+			continue
+		}
+		n.shards[i].flip(n.youngWords)
 	}
-	n.youngAlloc = n.youngEvac
 	n.minorGC = false
-	for i := range n.youngFwd {
-		n.youngFwd[i] = -1
-	}
+	n.minorShard = -1
 }
 
-// BeginMinorGC starts a minor collection: only the nursery is collected;
-// old objects are left untouched by VisitObject and the remembered set
-// supplies the interior old→young edges.
+// BeginMinorGC starts a global minor collection: every shard's nursery is
+// collected; old objects are left untouched by VisitObject and the
+// remembered set supplies the interior old→young edges.
 func (h *Heap) BeginMinorGC() {
 	if !h.young.enabled {
 		panic("BeginMinorGC: no nursery configured")
@@ -232,8 +382,41 @@ func (h *Heap) BeginMinorGC() {
 	h.beginYoungGC(true)
 }
 
-// EndMinorGC completes a minor collection. The old region is untouched;
-// only the young halves flip.
+// BeginMinorGCShard starts a minor collection of one shard: only that
+// shard's active half is evacuated; every other shard — objects, bump
+// pointers, live old-region TLABs — is untouched, so its mutators need not
+// stop. The caller (the tasking scheduler) must guarantee the shard is
+// unexposed: no pointer into it lives outside its own tasks' stacks, its
+// own young objects, and the remembered set. Young TLABs of the collected
+// shard must be retired; other shards' TLABs may stay live (old-region
+// promotion bumps past every outstanding carve, and a shard minor never
+// sweeps).
+func (h *Heap) BeginMinorGCShard(shard int) {
+	if !h.young.enabled {
+		panic("BeginMinorGCShard: no nursery configured")
+	}
+	if shard < 0 || shard >= len(h.young.shards) {
+		panic(fmt.Sprintf("BeginMinorGCShard: shard %d out of range (%d shards)", shard, len(h.young.shards)))
+	}
+	if h.inGC {
+		panic("BeginMinorGCShard: collection already in progress")
+	}
+	if h.tlabs.liveYoungIn(shard) > 0 {
+		panic("BeginMinorGCShard: the collected shard's young TLABs must be retired first")
+	}
+	h.inGC = true
+	h.Stats.Collections++
+	h.Stats.MinorCollections++
+	h.spans = h.spans[:0]
+	h.spansValid = false
+	n := &h.young
+	n.minorGC = true
+	n.minorShard = shard
+	n.shards[shard].armEvac(n.youngWords)
+}
+
+// EndMinorGC completes a minor collection (global or single-shard). The
+// old region is untouched; only the evacuated shards' halves flip.
 func (h *Heap) EndMinorGC() {
 	if !h.inGC || !h.young.minorGC {
 		panic("EndMinorGC: no minor collection in progress")
@@ -245,37 +428,45 @@ func (h *Heap) EndMinorGC() {
 // youngVisit is VisitObject for nursery pointers, during both minor and
 // major collections: forward if already evacuated, else promote by age
 // (falling back to young survival when the old region is full) or copy to
-// the inactive half.
+// the shard's inactive half. During a shard minor, other shards' objects
+// are returned untouched, exactly like old objects — the exposure
+// invariant guarantees nothing reachable only through them belongs to the
+// collected shard.
 func (h *Heap) youngVisit(ptr code.Word, base, n int) (code.Word, bool) {
 	y := &h.young
 	if !h.inGC {
 		panic("heap: young object visited outside a collection")
 	}
+	t := h.youngShardOf(base)
+	if y.minorShard >= 0 && t != y.minorShard {
+		return ptr, false
+	}
+	s := &y.shards[t]
 	// A pointer into the to-half's filled prefix is an already-evacuated
 	// object: remembered-set entries recorded during this collection (a
 	// promoted parent whose child was just copied) hold post-evacuation
 	// addresses, and re-tracing them must be the identity, exactly like a
 	// forwarding hit.
-	if toBase := (1 - h.youngActiveIdx()) * y.youngWords; base >= toBase && base+n <= y.youngEvac {
+	if toBase := s.base + (1-s.activeIdx())*y.youngWords; base >= toBase && base+n <= s.youngEvac {
 		return ptr, false
 	}
-	if base < y.youngOff || base+n > y.youngAlloc {
-		panic(fmt.Sprintf("heap: collector visited young offset %d (size %d) outside the live nursery [%d, %d)",
-			base, n, y.youngOff, y.youngAlloc))
+	if base < s.youngOff || base+n > s.youngAlloc {
+		panic(fmt.Sprintf("heap: collector visited young offset %d (size %d) outside shard %d's live nursery [%d, %d)",
+			base, n, t, s.youngOff, s.youngAlloc))
 	}
-	rel := base - y.youngOff
-	if fwd := y.youngFwd[rel]; fwd >= 0 {
+	rel := base - s.youngOff
+	if fwd := s.youngFwd[rel]; fwd >= 0 {
 		return code.EncodePtr(h.Repr, code.HeapBase+fwd), false
 	}
-	fromIdx := h.youngActiveIdx()
-	age := y.ages[fromIdx][rel]
+	fromIdx := s.activeIdx()
+	age := s.ages[fromIdx][rel]
 	if age < 250 {
 		age++
 	}
 	if age >= y.promoteAfter || y.tenureAll {
 		if nb, ok := h.promoteDest(n); ok {
 			copy(h.mem[nb:nb+n], h.mem[base:base+n])
-			y.youngFwd[rel] = nb
+			s.youngFwd[rel] = nb
 			h.Stats.WordsCopied += int64(n)
 			h.Stats.PromotedWords += int64(n)
 			return code.EncodePtr(h.Repr, code.HeapBase+nb), true
@@ -283,11 +474,11 @@ func (h *Heap) youngVisit(ptr code.Word, base, n int) (code.Word, bool) {
 		// No old-space room: survive in young another cycle instead of
 		// failing — the ladder's next full collection or grow makes room.
 	}
-	nb := y.youngEvac
-	y.youngEvac += n
+	nb := s.youngEvac
+	s.youngEvac += n
 	copy(h.mem[nb:nb+n], h.mem[base:base+n])
-	y.ages[1-fromIdx][nb-(1-fromIdx)*y.youngWords] = age
-	y.youngFwd[rel] = nb
+	s.ages[1-fromIdx][nb-(s.base+(1-fromIdx)*y.youngWords)] = age
+	s.youngFwd[rel] = nb
 	h.Stats.WordsCopied += int64(n)
 	return code.EncodePtr(h.Repr, code.HeapBase+nb), true
 }
@@ -333,19 +524,23 @@ func (h *Heap) promoteDest(n int) (int, bool) {
 	return base, true
 }
 
-// verifyNursery checks the nursery's post-collection invariants: the bump
-// pointer inside the active half and the forwarding table fully reset.
+// verifyNursery checks the nursery's post-collection invariants for every
+// shard: the bump pointer inside the active half and the forwarding table
+// fully reset.
 func (h *Heap) verifyNursery() []error {
 	y := &h.young
 	var errs []error
-	if y.youngAlloc < y.youngOff || y.youngAlloc > y.youngOff+y.youngWords {
-		errs = append(errs, fmt.Errorf("heap verify: nursery bump %d outside active half [%d, %d]",
-			y.youngAlloc, y.youngOff, y.youngOff+y.youngWords))
-	}
-	for i, f := range y.youngFwd {
-		if f >= 0 {
-			errs = append(errs, fmt.Errorf("heap verify: nursery forwarding entry %d not reset (still %d) after collection", i, f))
-			break
+	for i := range y.shards {
+		s := &y.shards[i]
+		if s.youngAlloc < s.youngOff || s.youngAlloc > s.youngOff+y.youngWords {
+			errs = append(errs, fmt.Errorf("heap verify: shard %d nursery bump %d outside active half [%d, %d]",
+				i, s.youngAlloc, s.youngOff, s.youngOff+y.youngWords))
+		}
+		for j, f := range s.youngFwd {
+			if f >= 0 {
+				errs = append(errs, fmt.Errorf("heap verify: shard %d nursery forwarding entry %d not reset (still %d) after collection", i, j, f))
+				break
+			}
 		}
 	}
 	return errs

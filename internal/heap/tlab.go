@@ -43,8 +43,11 @@ type TLAB struct {
 	// start, top and limit are absolute mem indexes: objects are bumped at
 	// top within [start, limit); start is kept for capacity accounting.
 	start, top, limit int
-	// young marks a buffer carved from the nursery's active half.
+	// young marks a buffer carved from the nursery's active half; shard is
+	// the nursery shard it was carved from (the allocation shard at carve
+	// time; 0 on an unsharded heap, meaningless when !young).
 	young bool
+	shard int
 	// active marks a carved, not-yet-retired buffer.
 	active bool
 }
@@ -64,8 +67,27 @@ type tlabState struct {
 	// chunk is the default carve size in words (-tlab N).
 	chunk int
 	// live counts carved, un-retired buffers; collections and grows refuse
-	// to run while any exist.
-	live int
+	// to run while any exist. liveYoung counts the young buffers per
+	// nursery shard: a shard minor only requires its own shard's young
+	// buffers retired, so other shards' mutators keep their buffers live.
+	live      int
+	liveYoung []int
+}
+
+// liveYoungIn returns the live young-buffer count for one nursery shard.
+func (t *tlabState) liveYoungIn(shard int) int {
+	if shard >= len(t.liveYoung) {
+		return 0
+	}
+	return t.liveYoung[shard]
+}
+
+// noteYoungCarve adjusts the per-shard young live count by delta.
+func (t *tlabState) noteYoungCarve(shard, delta int) {
+	for shard >= len(t.liveYoung) {
+		t.liveYoung = append(t.liveYoung, 0)
+	}
+	t.liveYoung[shard] += delta
 }
 
 // EnableTLABs switches the heap into TLAB mode with the given default
@@ -136,15 +158,16 @@ func (h *Heap) CarveTLAB(n int) (TLAB, bool) {
 	var base int
 	if h.young.enabled {
 		y := &h.young
-		avail := y.youngOff + y.youngWords - y.youngAlloc
+		s := &y.shards[y.allocShard]
+		avail := s.youngOff + y.youngWords - s.youngAlloc
 		if size > avail {
 			size = avail
 		}
 		if size < total {
 			return TLAB{}, false
 		}
-		base = y.youngAlloc
-		y.youngAlloc += size
+		base = s.youngAlloc
+		s.youngAlloc += size
 	} else {
 		avail := h.limit - h.alloc
 		if size > avail {
@@ -158,10 +181,14 @@ func (h *Heap) CarveTLAB(n int) (TLAB, bool) {
 	}
 	h.spansValid = false
 	h.tlabs.live++
+	if h.young.enabled {
+		h.tlabs.noteYoungCarve(h.young.allocShard, 1)
+	}
 	h.Stats.SharedAllocs++
 	h.Stats.TLABRefills++
 	h.Stats.TLABRefillWords += int64(size)
-	return TLAB{start: base, top: base, limit: base + size, young: h.young.enabled, active: true}, true
+	return TLAB{start: base, top: base, limit: base + size,
+		young: h.young.enabled, shard: h.young.allocShard, active: true}, true
 }
 
 // AllocTLAB bump-allocates an n-field object inside the buffer, or
@@ -181,7 +208,8 @@ func (h *Heap) AllocTLAB(t *TLAB, n int) (code.Word, bool) {
 	base := t.top
 	t.top += total
 	if t.young {
-		h.young.ages[h.youngActiveIdx()][base-h.young.youngOff] = 0
+		s := &h.young.shards[t.shard]
+		s.ages[s.activeIdx()][base-s.youngOff] = 0
 	} else if h.kind == MarkSweep {
 		h.objSize[base] = int32(total)
 	}
@@ -214,8 +242,8 @@ func (h *Heap) RetireTLAB(t *TLAB) (waste, returned int) {
 	switch {
 	case unused == 0:
 		// Fully used: nothing to give back or account.
-	case t.young && h.young.youngAlloc == t.limit:
-		h.young.youngAlloc = t.top
+	case t.young && h.young.shards[t.shard].youngAlloc == t.limit:
+		h.young.shards[t.shard].youngAlloc = t.top
 		returned = unused
 	case !t.young && h.alloc == t.limit:
 		h.alloc = t.top
@@ -233,6 +261,9 @@ func (h *Heap) RetireTLAB(t *TLAB) (waste, returned int) {
 	h.Stats.TLABWasteWords += int64(waste)
 	h.Stats.TLABReturnedWords += int64(returned)
 	h.tlabs.live--
+	if t.young {
+		h.tlabs.noteYoungCarve(t.shard, -1)
+	}
 	*t = TLAB{}
 	return waste, returned
 }
@@ -252,7 +283,8 @@ func (h *Heap) NeedTLAB(n int) bool {
 	if h.TLABEligible(n) {
 		if h.young.enabled {
 			y := &h.young
-			return y.youngAlloc+total > y.youngOff+y.youngWords
+			s := &y.shards[y.allocShard]
+			return s.youngAlloc+total > s.youngOff+y.youngWords
 		}
 		if h.alloc+total <= h.limit {
 			return false

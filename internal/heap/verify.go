@@ -199,15 +199,15 @@ func (h *Heap) gapAt(base int) int {
 func (h *Heap) CheckLive(ptr code.Word, n int) error {
 	base := h.addrIndex(ptr)
 	total := h.objWords(n)
-	if h.young.enabled && base < 2*h.young.youngWords {
-		// A live young object sits in the active half below the bump
-		// pointer. A pointer into the evacuated half is exactly what a
+	if h.young.enabled && base < h.young.prefixWords() {
+		// A live young object sits in its shard's active half below the
+		// bump pointer. A pointer into an evacuated half is exactly what a
 		// missed write barrier leaves behind — the barrier fuzz relies on
 		// this check firing for it.
-		y := &h.young
-		if base < y.youngOff || base+total > y.youngAlloc {
+		s := &h.young.shards[h.youngShardOf(base)]
+		if base < s.youngOff || base+total > s.youngAlloc {
 			return fmt.Errorf("young pointer to [%d, %d) outside the live nursery [%d, %d)",
-				base, base+total, y.youngOff, y.youngAlloc)
+				base, base+total, s.youngOff, s.youngAlloc)
 		}
 		return nil
 	}

@@ -122,6 +122,19 @@ type Options struct {
 	// to stop-the-world (0 = derived from the heap size and budget).
 	ConcMarkBudget int
 	ConcMaxSlices  int
+	// Shards > 1 partitions the nursery into per-shard young generations
+	// and the task set into shard groups (task ID mod Shards): a shard
+	// whose young space fills runs a minor collection over its own tasks
+	// alone, without suspending the other shards' mutators. Requires a
+	// tag-free strategy and a nursery (NurseryWords > 0), and composes
+	// with neither GCConcurrent nor the single-task VM path. Major
+	// collections stay global (all shards, stop-the-world). Tasking runs
+	// only. 0 or 1 = the unsharded heap.
+	Shards int
+	// ShardAssign, when non-nil, overrides the task→shard map by task ID
+	// (the interleaving fuzz permutes assignments; entries are reduced mod
+	// Shards). Ignored unless Shards > 1.
+	ShardAssign []int
 }
 
 // validateConcurrent checks the -gc-concurrent gating common to both
@@ -144,6 +157,27 @@ func (o Options) validateConcurrent() error {
 	}
 	if o.Parallelism > 1 {
 		return fmt.Errorf("-gc-concurrent does not compose with parallel marking (-par)")
+	}
+	return nil
+}
+
+// validateShards checks the -shards gating: per-shard minor collection is
+// the nursery's machinery partitioned by task group, so it needs the
+// typed generational substrate (tag-free strategy + nursery) and cannot
+// compose with the concurrent marker (whose cycles assume one global
+// collection epoch).
+func (o Options) validateShards() error {
+	if o.Shards <= 1 {
+		return nil
+	}
+	if o.Strategy == gc.StratTagged {
+		return fmt.Errorf("-shards requires a tag-free strategy")
+	}
+	if o.NurseryWords <= 0 {
+		return fmt.Errorf("-shards requires a generational nursery (-gc-nursery)")
+	}
+	if o.GCConcurrent {
+		return fmt.Errorf("-shards does not compose with -gc-concurrent")
 	}
 	return nil
 }
@@ -261,6 +295,9 @@ func Run(src string, opts Options) (*Result, error) {
 func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result, error) {
 	if prog.MainFunc < 0 {
 		return nil, fmt.Errorf("program has no main function")
+	}
+	if opts.Shards > 1 {
+		return nil, fmt.Errorf("-shards requires the tasking runtime (-tasks); the single-task VM has one mutator and nothing to overlap")
 	}
 	semi := opts.HeapWords
 	if semi == 0 {

@@ -142,6 +142,7 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 	gen := false
 	tlab := false
 	conc := false
+	sharded := false
 	for _, r := range t.Records {
 		if r.Kind != "" {
 			gen = true
@@ -152,10 +153,16 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 		if r.Conc != nil {
 			conc = true
 		}
+		if r.Shard > 0 {
+			sharded = true
+		}
 	}
 	header := []string{"seq"}
 	if gen {
 		header = append(header, "kind")
+	}
+	if sharded {
+		header = append(header, "shard")
 	}
 	if !opt.OmitTiming {
 		header = append(header, "pause")
@@ -186,6 +193,14 @@ func TelemetryTable(t *gc.Telemetry, opt TelemetryOptions) string {
 				kind = "-"
 			}
 			row = append(row, kind)
+		}
+		if sharded {
+			// Global collections (majors, multi-shard minors) have no shard.
+			shard := "-"
+			if r.Shard > 0 {
+				shard = fmt.Sprint(r.Shard)
+			}
+			row = append(row, shard)
 		}
 		if !opt.OmitTiming {
 			row = append(row, time.Duration(r.PauseNS).String())

@@ -86,6 +86,9 @@ func BuildTaskGroup(src string, entryNames []string, opts Options) (*tasking.Gro
 	} else {
 		h = heap.New(prog.Repr, semi)
 	}
+	if err := opts.validateShards(); err != nil {
+		return nil, nil, err
+	}
 	if opts.NurseryWords > 0 {
 		if opts.Strategy == gc.StratTagged {
 			return nil, nil, fmt.Errorf("the generational nursery requires a tag-free strategy")
@@ -94,7 +97,11 @@ func BuildTaskGroup(src string, entryNames []string, opts Options) (*tasking.Gro
 		if promote == 0 {
 			promote = 2
 		}
-		h.EnableNursery(opts.NurseryWords, promote)
+		shards := opts.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		h.EnableNurseryShards(opts.NurseryWords, promote, shards)
 	}
 	group, err := tasking.NewGroupWith(prog, h, opts.Strategy, nil)
 	if err != nil {
@@ -110,6 +117,10 @@ func BuildTaskGroup(src string, entryNames []string, opts Options) (*tasking.Gro
 	group.GrowFactor = opts.GrowFactor
 	group.MaxHeapWords = opts.MaxHeapWords
 	group.TLABWords = opts.TLABWords
+	if opts.Shards > 1 {
+		group.Shards = opts.Shards
+		group.ShardAssign = opts.ShardAssign
+	}
 	if err := opts.validateConcurrent(); err != nil {
 		return nil, nil, err
 	}

@@ -31,7 +31,11 @@ type Cell struct {
 	Strategy   gc.Strategy
 	Discipline Discipline
 	Par        int
-	Repeats    int
+	// Shards is the heap shard count (1 = the unsharded heap). When the
+	// scenario sets the shards key, the cell name carries a "/sh<k>"
+	// suffix; otherwise names keep their historical shape.
+	Shards  int
+	Repeats int
 
 	// Opts is the exact configuration RunMatrix passes to
 	// pipeline.RunTasks.
@@ -80,7 +84,9 @@ func Compile(scs []*Scenario) ([]Cell, error) {
 		for _, strat := range sc.Strategies {
 			for _, disc := range sc.Disciplines {
 				for _, par := range sc.Par {
-					cells = append(cells, compileCell(sc, w, srv, strat, disc, par))
+					for _, shards := range sc.Shards {
+						cells = append(cells, compileCell(sc, w, srv, strat, disc, par, shards))
+					}
 				}
 			}
 		}
@@ -125,15 +131,20 @@ func compileServe(sc *Scenario, w workloads.TaskWorkload) (*serve.Config, error)
 	}, nil
 }
 
-// compileCell resolves one (strategy, discipline, par) point.
-func compileCell(sc *Scenario, w workloads.TaskWorkload, srv *serve.Config, strat gc.Strategy, disc Discipline, par int) Cell {
+// compileCell resolves one (strategy, discipline, par, shards) point.
+func compileCell(sc *Scenario, w workloads.TaskWorkload, srv *serve.Config, strat gc.Strategy, disc Discipline, par, shards int) Cell {
+	name := fmt.Sprintf("%s/%s/%s/par%d", sc.Name, strat, disc.Key(), par)
+	if _, set := sc.keyPos["shards"]; set {
+		name += fmt.Sprintf("/sh%d", shards)
+	}
 	c := Cell{
 		Scenario:   sc.Name,
-		Name:       fmt.Sprintf("%s/%s/%s/par%d", sc.Name, strat, disc.Key(), par),
+		Name:       name,
 		Workload:   w,
 		Strategy:   strat,
 		Discipline: disc,
 		Par:        par,
+		Shards:     shards,
 		Repeats:    sc.Repeats,
 		Serve:      srv,
 		Opts: pipeline.Options{
@@ -157,24 +168,53 @@ func compileCell(sc *Scenario, w workloads.TaskWorkload, srv *serve.Config, stra
 		c.Opts.BudgetSteps = sc.Arrivals.BudgetSteps
 		c.Opts.BudgetAllocWords = sc.Arrivals.BudgetAlloc
 	}
-	// Combinations the runtime rejects by design become reported skips,
-	// so the matrix still covers every strategy × discipline cell.
-	switch {
-	case strat == gc.StratTagged && disc == MarkSweep:
-		c.Skip = "mark/sweep is implemented for the tag-free strategies"
-	case strat == gc.StratTagged && sc.NurseryWords > 0:
-		c.Skip = "the generational nursery requires a tag-free strategy"
-	case sc.GCConcurrent && strat == gc.StratTagged:
-		c.Skip = "concurrent marking requires a tag-free strategy"
-	case sc.GCConcurrent && disc != MarkSweep:
-		c.Skip = "concurrent marking requires the mark/sweep discipline"
-	case sc.GCConcurrent && sc.NurseryWords > 0:
-		c.Skip = "concurrent marking requires the nursery off"
-	case sc.GCConcurrent && par > 1:
-		c.Skip = "concurrent marking uses a single incremental marker"
+	// Combinations the runtime rejects by design become reported skips, so
+	// the matrix still covers every strategy × discipline cell. ALL
+	// applicable reasons are collected into the one Skip string (joined
+	// with "; "), so a cell out of the envelope on several counts is still
+	// exactly one skipped row in the matrix totals — never double-reported.
+	var reasons []string
+	if strat == gc.StratTagged && disc == MarkSweep {
+		reasons = append(reasons, "mark/sweep is implemented for the tag-free strategies")
 	}
-	if sc.GCConcurrent && c.Skip == "" {
-		c.Opts.GCConcurrent = true
+	if strat == gc.StratTagged && sc.NurseryWords > 0 {
+		reasons = append(reasons, "the generational nursery requires a tag-free strategy")
+	}
+	if sc.GCConcurrent {
+		if strat == gc.StratTagged {
+			reasons = append(reasons, "concurrent marking requires a tag-free strategy")
+		}
+		if disc != MarkSweep {
+			reasons = append(reasons, "concurrent marking requires the mark/sweep discipline")
+		}
+		if sc.NurseryWords > 0 {
+			reasons = append(reasons, "concurrent marking requires the nursery off")
+		}
+		if par > 1 {
+			reasons = append(reasons, "concurrent marking uses a single incremental marker")
+		}
+	}
+	if shards > 1 {
+		if strat == gc.StratTagged {
+			reasons = append(reasons, "heap sharding requires a tag-free strategy")
+		}
+		if sc.NurseryWords == 0 {
+			reasons = append(reasons, "heap sharding requires a nursery (per-shard minor collections)")
+		}
+		if sc.GCConcurrent {
+			reasons = append(reasons, "heap sharding does not compose with concurrent marking")
+		}
+	}
+	c.Skip = strings.Join(reasons, "; ")
+	if c.Skip == "" {
+		if sc.GCConcurrent {
+			c.Opts.GCConcurrent = true
+		}
+		if shards > 1 {
+			// shards 1 stays zero-valued so a defaulted axis compiles to an
+			// Options struct identical to its hand-written twin.
+			c.Opts.Shards = shards
+		}
 	}
 	return c
 }

@@ -31,7 +31,9 @@ type CellResult struct {
 	// Discipline is "copying" or "mark/sweep".
 	Discipline  string `json:"discipline"`
 	Parallelism int    `json:"parallelism"`
-	Repeats     int    `json:"repeats"`
+	// Shards is the heap shard count (omitted for the unsharded heap).
+	Shards  int `json:"shards,omitempty"`
+	Repeats int `json:"repeats"`
 
 	// The resolved configuration, for cross-checking against hand-coded
 	// invocations.
@@ -93,6 +95,7 @@ func runCell(c Cell) CellResult {
 		Strategy:     c.Strategy.String(),
 		Discipline:   c.Discipline.String(),
 		Parallelism:  c.Par,
+		Shards:       c.Opts.Shards,
 		Repeats:      c.Repeats,
 		HeapWords:    c.Opts.HeapWords,
 		NurseryWords: c.Opts.NurseryWords,

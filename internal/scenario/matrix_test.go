@@ -80,6 +80,75 @@ scenario smoke {
 	}
 }
 
+// TestScenarioMatrixTotalsMultiReasonSkips pins the skip-row accounting:
+// a cell outside the supported envelope on several counts (here tagged ×
+// mark/sweep × gc_concurrent × shards) is exactly one skipped row whose
+// Skip string carries every applicable reason, and the matrix header's
+// totals always satisfy total == run + skipped.
+func TestScenarioMatrixTotalsMultiReasonSkips(t *testing.T) {
+	scs, err := Parse(`
+scenario multi {
+  workload    taskpoly
+  strategies  compiled tagged
+  disciplines marksweep
+  shards      1 2
+  gc_concurrent
+}
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cells, err := Compile(scs)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4 (2 strategies x 2 shard counts)", len(cells))
+	}
+	snap := RunMatrix(cells)
+	run, skipped := 0, 0
+	for _, r := range snap.Runs {
+		if r.Skip != "" {
+			skipped++
+		} else {
+			run++
+		}
+	}
+	if run != 1 || skipped != 3 {
+		t.Fatalf("run=%d skipped=%d, want 1 run (compiled/sh1) and 3 single-counted skips", run, skipped)
+	}
+	table := snap.Table()
+	if !strings.Contains(table, "scenario matrix: 4 cells (1 run, 3 skipped)") {
+		t.Errorf("matrix totals line wrong:\n%s", table)
+	}
+	// The doubly-out-of-envelope cells carry every reason in one row.
+	for _, r := range snap.Runs {
+		switch r.Name {
+		case "multi/compiled/marksweep/par1/sh2":
+			for _, want := range []string{
+				"heap sharding requires a nursery",
+				"heap sharding does not compose with concurrent marking",
+			} {
+				if !strings.Contains(r.Skip, want) {
+					t.Errorf("%s: skip %q missing reason %q", r.Name, r.Skip, want)
+				}
+			}
+			if strings.Count(r.Skip, ";") != 1 {
+				t.Errorf("%s: want exactly 2 joined reasons, got %q", r.Name, r.Skip)
+			}
+		case "multi/tagged/marksweep/par1/sh1":
+			for _, want := range []string{
+				"mark/sweep is implemented for the tag-free strategies",
+				"concurrent marking requires a tag-free strategy",
+			} {
+				if !strings.Contains(r.Skip, want) {
+					t.Errorf("%s: skip %q missing reason %q", r.Name, r.Skip, want)
+				}
+			}
+		}
+	}
+}
+
 // TestScenarioCorpusCompiles pins the committed corpus: every .tfs file
 // parses, compiles, and together the "-all" scenarios cover the whole
 // tasking corpus × all four strategies × both disciplines.

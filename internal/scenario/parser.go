@@ -137,10 +137,13 @@ func (p *parser) parseScenario() (*Scenario, error) {
 	if len(sc.Par) == 0 {
 		sc.Par = []int{1}
 	}
+	if len(sc.Shards) == 0 {
+		sc.Shards = []int{1}
+	}
 	return sc, nil
 }
 
-const scenarioKeys = "workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, gc_concurrent, faults, arrivals, mix"
+const scenarioKeys = "workload, strategies, disciplines, par, shards, repeats, heap, nursery, promote, tlab, gc_concurrent, faults, arrivals, mix"
 
 // parseStmt parses one `key values` statement inside a scenario body.
 func (p *parser) parseStmt(sc *Scenario) error {
@@ -219,6 +222,26 @@ func (p *parser) parseStmt(sc *Scenario) error {
 		}
 		if len(sc.Par) == 0 {
 			return p.fail("expected at least one worker count, found %s", p.describe())
+		}
+	case "shards":
+		for p.tok.Kind == INT {
+			n, err := p.intValue("shards")
+			if err != nil {
+				return err
+			}
+			if n < 1 || n > maxShards {
+				return posErrorf(p.tok.Pos, "shards %d out of range (1..%d)", n, maxShards)
+			}
+			for _, have := range sc.Shards {
+				if have == n {
+					return posErrorf(p.tok.Pos, "duplicate shards %d", n)
+				}
+			}
+			sc.Shards = append(sc.Shards, n)
+			p.advance()
+		}
+		if len(sc.Shards) == 0 {
+			return p.fail("expected at least one shard count, found %s", p.describe())
 		}
 	case "repeats":
 		n, pos, err := p.intArgAt("repeats")

@@ -147,7 +147,7 @@ func TestScenarioDiagnosticsGolden(t *testing.T) {
 		{
 			name: "unknown key",
 			src:  "scenario x {\n  workload taskchurn\n  wrkload taskchurn\n}\n",
-			want: `3:3: unknown scenario key "wrkload" (have workload, strategies, disciplines, par, repeats, heap, nursery, promote, tlab, gc_concurrent, faults, arrivals, mix)`,
+			want: `3:3: unknown scenario key "wrkload" (have workload, strategies, disciplines, par, shards, repeats, heap, nursery, promote, tlab, gc_concurrent, faults, arrivals, mix)`,
 		},
 		{
 			name: "bad strategy name",

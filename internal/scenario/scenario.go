@@ -66,6 +66,11 @@ type Scenario struct {
 	Strategies  []gc.Strategy
 	Disciplines []Discipline
 	Par         []int
+	// Shards crosses heap shard counts (task→shard partitioning with
+	// independent per-shard minor collections). Cells with shards > 1
+	// outside the sharding envelope (tag-free strategy, a nursery, no
+	// gc_concurrent) become reported skips.
+	Shards []int
 
 	// Repeats is the best-of wall-time repetition count per cell.
 	Repeats int
@@ -190,6 +195,7 @@ const (
 	minTLAB      = 8
 	maxTLAB      = 1 << 16
 	maxPar       = 64
+	maxShards    = 64
 	maxRepeats   = 100
 	maxPromote   = 64
 	maxHeapGrow  = 16.0

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"tagfree/internal/stats"
 )
 
 // SnapshotSchema identifies the emitted JSON layout. It is the same
@@ -62,19 +64,10 @@ type Snapshot struct {
 	Runs   []Report `json:"runs"`
 }
 
-// percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
-// sample by the nearest-rank-below rule (index ⌊p·(n-1)⌋); empty samples
-// report 0 and p is clamped to [0, 1].
+// percentile is stats.Percentile — the one shared quantile rule, so the
+// serve and bench latency rows can never disagree on methodology.
 func percentile(sorted []int64, p float64) int64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	if p < 0 {
-		p = 0
-	} else if p > 1 {
-		p = 1
-	}
-	return sorted[int(p*float64(len(sorted)-1))]
+	return stats.Percentile(sorted, p)
 }
 
 // NewReport folds a finished run into its report row.

@@ -404,12 +404,14 @@ func (d *driver) shedReason(heapPressure bool) string {
 }
 
 // capacity is the total allocatable space: the semispace plus, with a
-// nursery, the young half (minors promote its occupancy into the old
-// region, so it counts as pressure).
+// nursery, the young halves (minors promote their occupancy into the old
+// region, so they count as pressure). YoungTotalWords sums every shard's
+// active half — YoungWords alone under-reports a sharded heap's young
+// capacity by a factor of the shard count, making admission shed early.
 func (d *driver) capacity() int {
 	c := d.g.Heap.SemiWords()
 	if d.g.Heap.NurseryEnabled() {
-		c += d.g.Heap.YoungWords()
+		c += d.g.Heap.YoungTotalWords()
 	}
 	return c
 }

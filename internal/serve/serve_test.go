@@ -213,3 +213,62 @@ func TestMixValidation(t *testing.T) {
 		t.Fatal("open loop without Requests not rejected")
 	}
 }
+
+// TestShardedOverloadLedgerBalances pins satellite coverage for the
+// sharded heap under serving load: at every shard count the overload run
+// must keep the loss ledger exact (completed+dropped+canceled+faulted ==
+// requests), return only correct values, and — once there is more than
+// one shard — actually run single-shard minors so the ledger is exercised
+// over the sharded collection schedule, not just the global one.
+func TestShardedOverloadLedgerBalances(t *testing.T) {
+	w := serveWorkload(t)
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			opts := pipeline.Options{
+				Strategy:     gc.StratCompiled,
+				HeapWords:    w.HeapWords,
+				NurseryWords: 2048,
+				VerifyHeap:   true,
+				BudgetSteps:  2_000_000,
+			}
+			if shards > 1 {
+				opts.Shards = shards
+			}
+			cfg := Config{
+				Workload:    w,
+				Mix:         []MixEntry{{"req_tiny", 6}, {"req_small", 3}, {"req_medium", 2}, {"req_heavy", 1}},
+				Opts:        opts,
+				Period:      3000,
+				Burst:       1,
+				Requests:    120,
+				Seed:        7,
+				QueueDepth:  8,
+				MaxInflight: 4,
+				ShedHeapPct: 85,
+				MaxRetries:  3,
+				Deadline:    400_000,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := res.Stats
+			if s.Completed == 0 {
+				t.Fatalf("completed nothing: %+v", s)
+			}
+			if s.WrongResults != 0 {
+				t.Fatalf("%d completed requests returned wrong values", s.WrongResults)
+			}
+			if s.Completed+s.Dropped+s.Canceled+s.Faulted != s.Requests {
+				t.Fatalf("loss unaccounted: %+v", s)
+			}
+			gs := res.Group.Stats
+			if shards > 1 && gs.ShardMinors == 0 {
+				t.Fatalf("shards=%d never ran a shard minor", shards)
+			}
+			if shards == 1 && gs.ShardMinors != 0 {
+				t.Fatalf("unsharded run counted shard minors: %+v", gs)
+			}
+		})
+	}
+}

@@ -1,0 +1,56 @@
+package stats
+
+import "testing"
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty sample: got %d, want 0", got)
+	}
+	if got := Percentile([]int64{}, 1); got != 0 {
+		t.Fatalf("empty slice: got %d, want 0", got)
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := Percentile([]int64{42}, p); got != 42 {
+			t.Fatalf("single sample at p=%v: got %d, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	s := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(s, 0); got != 1 {
+		t.Fatalf("p=0: got %d, want 1", got)
+	}
+	if got := Percentile(s, 1); got != 10 {
+		t.Fatalf("p=1: got %d, want 10", got)
+	}
+	// Out-of-range p clamps rather than panicking.
+	if got := Percentile(s, -3); got != 1 {
+		t.Fatalf("p=-3: got %d, want 1", got)
+	}
+	if got := Percentile(s, 99.9); got != 10 {
+		t.Fatalf("p=99.9: got %d, want 10", got)
+	}
+}
+
+func TestPercentileNearestRankBelow(t *testing.T) {
+	s := []int64{10, 20, 30, 40}
+	// index = floor(p * 3): no interpolation, rank rounds down.
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{0.25, 10}, // floor(0.75) = 0
+		{0.34, 20}, // floor(1.02) = 1
+		{0.5, 20},  // floor(1.5)  = 1
+		{0.99, 30}, // floor(2.97) = 2
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.p); got != c.want {
+			t.Fatalf("p=%v: got %d, want %d", c.p, got, c.want)
+		}
+	}
+}

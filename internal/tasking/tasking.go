@@ -237,6 +237,17 @@ type Stats struct {
 	// suspending.
 	SuspendLatency []int64
 	Instructions   int64
+	// ShardMinors counts single-shard minor collections (Shards > 1);
+	// ShardMinorOverlapTasks sums, over those, the other-shard tasks that
+	// were still runnable when the shard collected — the concurrency a
+	// sharded heap buys over a stop-the-world minor, which would have
+	// parked every one of them (experiment E16).
+	ShardMinors            int64
+	ShardMinorOverlapTasks int64
+	// ShardExposures counts exposure events: a shard's young pointer
+	// observed escaping to the globals or another shard, blocking that
+	// shard's minors until a global collection empties the nurseries.
+	ShardExposures int64
 }
 
 // Policy selects the paper's suspension discipline (§4).
@@ -300,6 +311,21 @@ type Group struct {
 	// arrivals) still has a clock.
 	Tick func(now int64) bool
 
+	// Shards, when > 1, partitions the tasks into that many heap shards,
+	// each with its own nursery pair and TLAB pool
+	// (heap.EnableNurseryShards — the pipeline arms the heap to match). A
+	// task's shard is its ID mod Shards (ShardAssign overrides). When one
+	// shard's nursery fills, only that shard's tasks ride a suspend wave
+	// (rgcShard) and only that shard's young generation is collected —
+	// every other shard's tasks keep running their quanta, which is the
+	// pause overlap experiment E16 measures. Requires a tag-free strategy
+	// with a nursery and no concurrent marking.
+	Shards int
+	// ShardAssign, when non-nil, overrides the task→shard map by task ID
+	// (entries are reduced mod Shards; missing/negative IDs fall back to
+	// ID mod Shards). The interleaving fuzz permutes it.
+	ShardAssign []int
+
 	// GCConcurrent arms mostly-concurrent marking (mark/sweep heaps without
 	// a nursery): a cycle starts with a brief root-snapshot pause when heap
 	// occupancy crosses ConcTriggerPct, marking then runs in budgeted
@@ -328,6 +354,16 @@ type Group struct {
 	// initTask is the transient init task while RunInit is running, so the
 	// pre-collection retirement wave covers its buffer too.
 	initTask *Task
+
+	// rgcShard[s] is the per-shard Rgc register: nonzero parks shard-s
+	// tasks (at the same safe points as rgc) for a single-shard minor
+	// collection. exposed[s] records that a shard-s young pointer may live
+	// outside shard s's own world (a global, another shard's stack or
+	// young object) — shard-s minors are blocked until a global collection
+	// empties every nursery, because a shard minor traces only shard-s
+	// stacks, the globals and the shard-filtered remembered set.
+	rgcShard []code.Word
+	exposed  []bool
 }
 
 // NewGroup builds a tasking group over a fresh semispace copying heap.
@@ -404,6 +440,71 @@ func (g *Group) setupTLABs() {
 	}
 }
 
+// setupShards lazily sizes the per-shard wave and exposure state.
+// Idempotent; called from every scheduling entry point. The heap itself is
+// sharded by the caller (heap.EnableNurseryShards) before the run starts.
+func (g *Group) setupShards() {
+	if g.Shards > 1 && g.rgcShard == nil {
+		g.rgcShard = make([]code.Word, g.Shards)
+		g.exposed = make([]bool, g.Shards)
+	}
+}
+
+// sharded reports whether per-shard scheduling is live: more than one
+// shard over a generational heap.
+func (g *Group) sharded() bool {
+	return g.Shards > 1 && g.Heap.NurseryEnabled()
+}
+
+// shardOf maps a task to its heap shard: ShardAssign[ID] when set,
+// otherwise ID mod Shards. The init task (ID -1) runs in shard 0.
+func (g *Group) shardOf(t *Task) int {
+	if g.Shards <= 1 || t.ID < 0 {
+		return 0
+	}
+	if t.ID < len(g.ShardAssign) {
+		s := g.ShardAssign[t.ID] % g.Shards
+		if s < 0 {
+			s += g.Shards
+		}
+		return s
+	}
+	return t.ID % g.Shards
+}
+
+// expose marks a young value as escaped from its shard, blocking that
+// shard's minors. Tag-free integers can alias young addresses, so the check
+// is conservative — a spurious exposure only costs a blocked shard minor,
+// never soundness.
+func (g *Group) expose(v code.Word) {
+	s := g.Heap.YoungShardOf(v)
+	if !g.exposed[s] {
+		g.exposed[s] = true
+		g.Stats.ShardExposures++
+	}
+}
+
+// maybeClearExposure lifts the exposure blocks once every nursery is empty
+// (after a tenure-all, or any global collection that promoted or reclaimed
+// every young object): with no young objects left there is nothing an old
+// exposure flag could still protect.
+func (g *Group) maybeClearExposure() {
+	if g.exposed == nil || g.Heap.YoungUsed() != 0 {
+		return
+	}
+	for i := range g.exposed {
+		g.exposed[i] = false
+	}
+}
+
+// clearShardWaves stands down every pending shard wave (a global
+// collection empties all nurseries, so the waves' work is done).
+func (g *Group) clearShardWaves() {
+	for i := range g.rgcShard {
+		g.rgcShard[i] = 0
+	}
+}
+
 // retireTaskTLAB retires one task's buffer (no-op when inactive), folding
 // the waste/give-back words into the task's accounting.
 func (g *Group) retireTaskTLAB(t *Task) {
@@ -475,6 +576,7 @@ func (g *Group) allocBlocked(n int) bool {
 // dedicated task before the group starts.
 func (g *Group) RunInit() error {
 	g.setupTLABs()
+	g.setupShards()
 	t := &Task{ID: -1, stack: make([]code.Word, 1024), fp: -1}
 	g.initTask = t
 	defer func() {
@@ -502,7 +604,26 @@ func (g *Group) RunInit() error {
 	if t.Status == Faulted {
 		return t.Err
 	}
+	g.sealInit()
 	return nil
+}
+
+// sealInit closes out a sharded group's init phase. Init runs in shard 0
+// and populates the globals, so its young allocations are all "exposed" —
+// the flags it raised would block every shard-0 minor from the first
+// quantum. A tenure-all collection over the globals alone (the spawned
+// tasks' stacks hold no heap pointers yet — just the unit argument) moves
+// everything init built into the shared old region, after which the
+// exposure flags can be cleared and every shard starts with an empty,
+// private nursery.
+func (g *Group) sealInit() {
+	if !g.sharded() {
+		return
+	}
+	if g.Heap.YoungUsed() > 0 {
+		g.tenureCollect(nil)
+	}
+	g.maybeClearExposure()
 }
 
 // Run schedules the tasks round-robin until every task is Done or Faulted.
@@ -532,6 +653,8 @@ func (g *Group) Run() error {
 // (true).
 func (g *Group) runUntilSuspended() (bool, error) {
 	g.setupTLABs()
+	g.setupShards()
+	sharded := g.sharded()
 	for {
 		external := false
 		if g.Tick != nil && g.rgc == 0 {
@@ -575,6 +698,11 @@ func (g *Group) runUntilSuspended() (bool, error) {
 				continue
 			}
 			anyRan = true
+			if sharded {
+				// Route this quantum's allocations at the task's own nursery
+				// shard.
+				g.Heap.SetAllocShard(g.shardOf(t))
+			}
 			if err := g.step(t, g.Quantum); err != nil {
 				// Fault isolation: the error stops this task only.
 				g.faultTask(t, FaultRuntime, 0, err)
@@ -605,6 +733,9 @@ func (g *Group) runUntilSuspended() (bool, error) {
 				g.concRunEnd()
 			}
 			return false, nil
+		}
+		if sharded {
+			g.serviceShardMinors()
 		}
 		if g.rgc != 0 && g.allSuspended() {
 			if g.concPause() {
@@ -818,6 +949,11 @@ func (g *Group) collectSuspended() {
 		if t.Status != SuspendedAlloc {
 			continue
 		}
+		if g.sharded() {
+			// The retry and the ladder's Need checks judge headroom against
+			// the blocked task's own nursery shard.
+			g.Heap.SetAllocShard(g.shardOf(t))
+		}
 		ok := g.rescueAlloc(live, t.pendingAlloc)
 		g.noteLadderOutcome(t, ok)
 		if !ok {
@@ -830,6 +966,88 @@ func (g *Group) collectSuspended() {
 		}
 	}
 	g.concLastEnd = g.Heap.OccupiedWords()
+}
+
+// serviceShardMinors runs any pending single-shard minor whose tasks have
+// all reached safe points. Unlike a stop-the-world wave, a shard wave
+// gathers only its own tasks: the scheduler keeps stepping every other
+// shard between rounds, so their mutation overlaps the shard's collection
+// (the overlap Stats.ShardMinorOverlapTasks measures). A wave whose shard
+// is no longer minor-eligible — an exposure landed after the raise, a
+// barrier overflow forced the next cycle major — escalates to the ordinary
+// global wave instead, as does a shard whose minor did not free enough for
+// the blocked allocation (the global ladder has the full/tenure/grow rungs
+// a shard minor lacks).
+func (g *Group) serviceShardMinors() {
+	for s := range g.rgcShard {
+		if g.rgcShard[s] == 0 {
+			continue
+		}
+		if g.rgc != 0 {
+			// A global wave is also pending; its collection empties every
+			// nursery, subsuming this shard's. The shard's suspended tasks
+			// join the global wave and are rescued/resumed with it.
+			g.rgcShard[s] = 0
+			continue
+		}
+		var mine []*Task
+		ready := true
+		overlap := 0
+		for _, t := range g.Tasks {
+			switch t.Status {
+			case Running:
+				if g.shardOf(t) == s {
+					ready = false
+				} else {
+					overlap++
+				}
+			case SuspendedAlloc, SuspendedCall:
+				if g.shardOf(t) == s {
+					mine = append(mine, t)
+				}
+			}
+		}
+		if !ready {
+			continue // shard tasks still draining to their safe points
+		}
+		if !g.Col.MinorEligible() || g.exposed[s] {
+			g.rgcShard[s] = 0
+			g.rgc = 1
+			continue
+		}
+		// Only this shard's young TLABs must be retired: other shards' young
+		// buffers are untouched by a shard minor, and promotion allocates
+		// past any live old-region carve.
+		for _, t := range mine {
+			g.retireTaskTLAB(t)
+		}
+		g.Col.CollectMinorShard(s, g.rootSet(mine), g.Globals)
+		g.Stats.Collections++
+		g.Stats.ShardMinors++
+		g.Stats.ShardMinorOverlapTasks += int64(overlap)
+		g.rgcShard[s] = 0
+		g.Heap.SetAllocShard(s)
+		escalate := false
+		for _, t := range mine {
+			if t.Status == SuspendedAlloc && g.allocBlocked(t.pendingAlloc) {
+				// The shard minor was not enough; climb the global ladder.
+				// The task stays suspended and is rescued by the global
+				// collection's collectSuspended.
+				t.allocEmergency = true
+				escalate = true
+			}
+		}
+		if escalate {
+			g.Col.Telem.Resilience.EmergencyCollections++
+			g.rgc = 1
+			continue
+		}
+		for _, t := range mine {
+			if t.Status != Faulted {
+				t.Status = Running
+			}
+		}
+	}
 }
 
 // rescueAlloc climbs the post-collection rungs of the ladder for a pending
@@ -977,6 +1195,8 @@ func (g *Group) collect(live []*Task) {
 	g.Col.Collect(g.rootSet(live), g.Globals)
 	g.Stats.Collections++
 	g.rgc = 0
+	g.clearShardWaves()
+	g.maybeClearExposure()
 }
 
 // fullCollect forces a major collection (a rescue-ladder rung; the normal
@@ -984,6 +1204,7 @@ func (g *Group) collect(live []*Task) {
 func (g *Group) fullCollect(live []*Task) {
 	g.Col.CollectFull(g.rootSet(live), g.Globals)
 	g.Stats.Collections++
+	g.maybeClearExposure()
 }
 
 // tenureCollect runs a full collection with every nursery survivor
@@ -1049,6 +1270,11 @@ func (g *Group) step(t *Task, quantum int) error {
 	repr := prog.Repr
 	nursery := g.Heap.NurseryEnabled()
 	conc := g.GCConcurrent
+	sharded := g.sharded()
+	tShard := 0
+	if sharded {
+		tShard = g.shardOf(t)
+	}
 
 	for i := 0; i < quantum; i++ {
 		if t.Status != Running {
@@ -1183,7 +1409,15 @@ func (g *Group) step(t *Task, quantum int) error {
 			t.pc = pc + 4
 
 		case code.OpLdFld:
-			t.stack[t.fp+2+int(c[pc+1])] = g.Heap.Field(t.atom(g, c[pc+2]), int(c[pc+3]))
+			v := g.Heap.Field(t.atom(g, c[pc+2]), int(c[pc+3]))
+			if sharded && g.Heap.InYoung(v) && g.Heap.YoungShardOf(v) != tShard {
+				// A foreign shard's young pointer just landed on this stack;
+				// that shard's minors no longer see all their roots. (The word
+				// may be an integer aliasing a young address — the exposure is
+				// conservative, see expose.)
+				g.expose(v)
+			}
+			t.stack[t.fp+2+int(c[pc+1])] = v
 			t.pc = pc + 4
 
 		case code.OpStFld:
@@ -1196,6 +1430,14 @@ func (g *Group) step(t *Task, quantum int) error {
 				// hold a pointer ever consult the remembered set.
 				if d := g.Prog.StoreDescs[pc]; d != nil && g.Heap.InOld(obj) && g.Heap.InYoung(v) {
 					g.Col.Remember(obj, int(c[pc+2]), d)
+				}
+				if sharded && g.Heap.InYoung(v) && g.Heap.InYoung(obj) &&
+					g.Heap.YoungShardOf(v) != g.Heap.YoungShardOf(obj) {
+					// A cross-shard young→young edge: v's shard can no longer
+					// collect alone (the edge lives in an object its minors
+					// will not trace). Old→young stores need no flag — the
+					// remembered set covers them shard-filtered.
+					g.expose(v)
 				}
 			} else if conc && g.Col.ConcActive() {
 				// Incremental-update barrier: graying the stored value keeps
@@ -1212,9 +1454,11 @@ func (g *Group) step(t *Task, quantum int) error {
 		case code.OpCall, code.OpCallC:
 			if g.Policy == SuspendAtCalls {
 				// The Rgc register is added to every call target: nonzero
-				// diverts into the suspension stub (§4).
+				// diverts into the suspension stub (§4). A sharded group has
+				// one more register per shard — only the task's own shard's
+				// wave parks it.
 				g.Stats.RgcChecks++
-				if g.rgc != 0 {
+				if g.rgc != 0 || (sharded && g.rgcShard[tShard] != 0) {
 					t.Status = SuspendedCall
 					return nil
 				}
@@ -1276,7 +1520,15 @@ func (g *Group) step(t *Task, quantum int) error {
 			t.pc = pc + 4
 
 		case code.OpSetGlobal:
-			g.Globals[int(c[pc+1])] = t.atom(g, c[pc+2])
+			v := t.atom(g, c[pc+2])
+			if sharded && g.Heap.InYoung(v) {
+				// Globals are traced during every shard minor, so the stored
+				// pointer itself stays sound — but any task can now copy it
+				// onto a stack the shard's minors never scan, so the shard
+				// must be blocked from here on.
+				g.expose(v)
+			}
+			g.Globals[int(c[pc+1])] = v
 			t.pc = pc + 3
 
 		case code.OpMatchFail:
@@ -1342,11 +1594,17 @@ func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
 			return nil
 		}
 	}
+	sharded := g.sharded()
+	tShard := 0
+	if sharded {
+		tShard = g.shardOf(t)
+	}
 	if g.Policy == SuspendAtAllocs {
 		g.Stats.RgcChecks++
-		if g.rgc != 0 {
-			// Another task exhausted the heap; wait here and retry this
-			// allocation after the collection.
+		if g.rgc != 0 || (sharded && g.rgcShard[tShard] != 0) {
+			// Another task exhausted the heap (or this task's shard has a
+			// minor pending); wait here and retry this allocation after the
+			// collection.
 			t.suspendAlloc(n)
 			return nil
 		}
@@ -1381,6 +1639,17 @@ func (g *Group) stepAlloc(t *Task, pc int, op code.Op) error {
 	}
 	ptr, err := g.taskAlloc(t, n)
 	if err != nil {
+		if sharded && g.rgc == 0 && g.rgcShard[tShard] == 0 &&
+			!g.exposed[tShard] && g.Col.MinorEligible() && n <= g.Heap.YoungWords() {
+			// A nursery-sized request failed in an unexposed, minor-eligible
+			// shard: raise only that shard's wave. Its siblings in other
+			// shards keep running while the shard collects alone;
+			// serviceShardMinors escalates to the global ladder if the shard
+			// minor is not enough.
+			g.rgcShard[tShard] = 1
+			t.suspendAlloc(n)
+			return nil
+		}
 		// The typed allocation failure is the ladder's first rung: raise
 		// Rgc and suspend for an emergency collection; collectSuspended
 		// climbs the rest (retry, grow, fault).

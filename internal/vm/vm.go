@@ -241,6 +241,10 @@ func (vm *VM) concAdvance(pc, fp int) {
 			// promises — before the trigger may re-arm.
 			vm.concAbortSeen = ab
 			vm.Col.CollectFull(vm.roots(pc, fp), vm.Globals)
+			// Refresh the hysteresis baseline: without it the trigger still
+			// compares against the occupancy before the abort and can re-arm
+			// a second cycle in the same occupancy epoch.
+			vm.concLastEnd = vm.Heap.OccupiedWords()
 			return
 		}
 		pct := vm.ConcTriggerPct
@@ -272,6 +276,9 @@ func (vm *VM) concAdvance(pc, fp int) {
 		vm.Col.ConcAbort()
 		vm.concAbortSeen = vm.Col.Telem.Resilience.ConcAborts
 		vm.Col.CollectFull(vm.roots(pc, fp), vm.Globals)
+		// Same baseline refresh as the abort fallback above: the watchdog's
+		// stop-the-world reclaim ends this occupancy epoch.
+		vm.concLastEnd = vm.Heap.OccupiedWords()
 	}
 }
 
