@@ -31,16 +31,22 @@
 # plus the sharded overload-ledger test under the race detector, and the
 # committed shard-torture scenario — per-shard minors with the verifier
 # walking the whole heap after each, and injected failures climbing the
-# global ladder with the nursery split four ways.
+# global ladder with the nursery split four ways. tier2-liveness is the
+# heap-liveness pass: the differential projection suite (retained-set
+# subset via signature projection, poison traps, the 32-seed mode-matrix
+# fuzz) under the race detector, plus the committed liveness-torture
+# scenario — pruning crossed with torture and the verifier, and pruning
+# pushed out of its envelope over sharded nurseries with injected
+# failures so the counted-degrade path runs under stress too.
 
-.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent tier2-shard bench bench-json fuzz fuzz-scenario
+.PHONY: tier1 tier2 tier2-torture tier2-bench tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent tier2-shard tier2-liveness bench bench-json fuzz fuzz-scenario
 
 tier1:
 	go build ./...
 	go vet ./...
 	go test ./...
 
-tier2: tier1 tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent tier2-shard
+tier2: tier1 tier2-nursery tier2-tlab tier2-scenario tier2-serve tier2-concurrent tier2-shard tier2-liveness
 	go test -race ./...
 	go test -run TestDifferential -count=1 ./internal/pipeline/
 
@@ -69,6 +75,10 @@ tier2-shard:
 	go test -race -run 'TestDifferentialShards|TestShard' -count=1 -timeout 30m ./internal/pipeline/
 	go test -race -run TestShardedOverloadLedgerBalances -count=1 -timeout 30m ./internal/serve/
 	go run -race ./cmd/tfbench -scenario testdata/scenarios/shard-torture.tfs >/dev/null
+
+tier2-liveness:
+	go test -race -run 'TestHeapLiveness|TestPoisonTraps' -count=1 -timeout 30m ./internal/pipeline/
+	go run -race ./cmd/tfbench -scenario testdata/scenarios/liveness-torture.tfs >/dev/null
 
 tier2-torture: tier1
 	GC_TORTURE_FULL=1 go test -race -run 'TestTorture|TestRecoveryLadder|TestWatchdog' -count=1 -timeout 30m ./internal/pipeline/

@@ -36,6 +36,7 @@ func main() {
 	tlab := flag.Int("tlab", 0, "per-task allocation buffer chunk in words (telemetry report)")
 	gcConc := flag.Bool("gc-concurrent", false, "mostly-concurrent marking on the mark/sweep rows (telemetry report)")
 	shards := flag.Int("shards", 0, "heap shards with independent minor collections (telemetry report; needs -gc-nursery)")
+	heapLive := flag.Bool("gc-heap-liveness", false, "liveness-guided tracing: prune provably dead element fields (telemetry report)")
 	benchJSON := flag.String("bench-json", "", "write the benchmark snapshot (schema tagfree-bench/v1) to this file and exit; \"-\" for stdout")
 	scenarioPath := flag.String("scenario", "", "run the scenario matrix from a .tfs file or a directory of .tfs files")
 	flag.Parse()
@@ -67,8 +68,9 @@ func main() {
 		"e14": experiments.E14Overload,
 		"e15": func() *experiments.Table { return experiments.E15ConcurrentMark(*repeats) },
 		"e16": experiments.E16ShardedMinors,
+		"e17": experiments.E17HeapLiveness,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -76,7 +78,7 @@ func main() {
 	}
 	for _, name := range selected {
 		if strings.EqualFold(name, "telemetry") {
-			telemetryReport(*par, *asJSON, *verifyHeap, *torture, *nursery, *tlab, *gcConc, *shards)
+			telemetryReport(*par, *asJSON, *verifyHeap, *torture, *nursery, *tlab, *gcConc, *shards, *heapLive)
 			continue
 		}
 		r, ok := runners[strings.ToLower(name)]
@@ -165,18 +167,19 @@ func writeBenchSnapshot(path string, repeats int) {
 // generationally (tier2-nursery combines all three under -race); tlab > 0
 // gives each task a private allocation buffer of that many words and grows
 // the refill/fast/shared/waste columns plus the cumulative tlab line.
-func telemetryReport(par int, asJSON, verify, torture bool, nursery, tlab int, conc bool, shards int) {
+func telemetryReport(par int, asJSON, verify, torture bool, nursery, tlab int, conc bool, shards int, heapLive bool) {
 	for _, w := range workloads.Tasking {
 		for _, ms := range []bool{false, true} {
 			opts := pipeline.Options{
-				Strategy:     gc.StratCompiled,
-				HeapWords:    w.HeapWords,
-				MarkSweep:    ms,
-				Parallelism:  par,
-				VerifyHeap:   verify,
-				Torture:      torture,
-				NurseryWords: nursery,
-				TLABWords:    tlab,
+				Strategy:       gc.StratCompiled,
+				HeapWords:      w.HeapWords,
+				MarkSweep:      ms,
+				Parallelism:    par,
+				VerifyHeap:     verify,
+				Torture:        torture,
+				NurseryWords:   nursery,
+				TLABWords:      tlab,
+				GCHeapLiveness: heapLive,
 			}
 			if shards > 1 && nursery > 0 {
 				opts.Shards = shards

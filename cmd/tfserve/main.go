@@ -77,6 +77,8 @@ func cli(args []string, stdout io.Writer) error {
 	concBudget := fs.Int("gc-conc-budget", 0, "words marked per concurrent slice (0 = default)")
 	concSlices := fs.Int("gc-conc-maxslices", 0, "slice watchdog before a cycle aborts to stop-the-world (0 = derived)")
 	shards := fs.Int("shards", 0, "partition tasks and nursery into N heap shards with independent minor collections (needs -gc-nursery)")
+	heapLive := fs.Bool("gc-heap-liveness", false, "liveness-guided tracing: prune provably dead element fields (compiled strategy)")
+	poison := fs.Bool("poison-pruned", false, "fault any load of a pruned field (debug mode for -gc-heap-liveness)")
 	verifyHeap := fs.Bool("verify-heap", false, "verify heap invariants after every collection")
 	torture := fs.Bool("gc-torture", false, "collect before every allocation")
 	failNth := fs.Int64("fail-alloc", 0, "inject one allocation failure at the Nth allocation")
@@ -154,6 +156,8 @@ func cli(args []string, stdout io.Writer) error {
 			ConcMarkBudget:   *concBudget,
 			ConcMaxSlices:    *concSlices,
 			Shards:           *shards,
+			GCHeapLiveness:   *heapLive,
+			PoisonPruned:     *poison,
 		},
 		Period:      *period,
 		Burst:       *burst,

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"tagfree/internal/code"
+	"tagfree/internal/compile/gcanal"
 	"tagfree/internal/compile/liveness"
 	"tagfree/internal/ir"
 	"tagfree/internal/mlang/types"
@@ -37,6 +38,7 @@ type Compiler struct {
 	irp  *ir.Program
 	repr code.Repr
 	prog *code.Program
+	hl   *gcanal.HeapLiveness
 
 	descCache map[string]*code.TypeDesc
 	constIdx  map[code.Word]int
@@ -48,9 +50,17 @@ type Compiler struct {
 // Compile translates an IR program for the given representation. The
 // GC-possible analysis must already have refined RCall.CanGC flags.
 func Compile(irp *ir.Program, repr code.Repr) (*code.Program, error) {
+	return CompileWith(irp, repr, nil)
+}
+
+// CompileWith is Compile with an optional heap-liveness result: when hl is
+// non-nil, frame-map entries proven spine-only carry the Spine verdict for
+// the liveness-guided collector.
+func CompileWith(irp *ir.Program, repr code.Repr, hl *gcanal.HeapLiveness) (*code.Program, error) {
 	c := &Compiler{
 		irp:  irp,
 		repr: repr,
+		hl:   hl,
 		prog: &code.Program{
 			Repr:    repr,
 			Strings: irp.Strings,
@@ -594,7 +604,7 @@ func (fe *femit) emitRhs(dst *ir.Slot, r ir.Rhs) {
 				inst = append(inst, c.descOf(t, fe.f))
 			}
 			gcw = fe.siteCall(r.Site, cidx, inst)
-			fe.addSiteArgs(gcw, r.Args)
+			fe.addSiteArgs(gcw, r.Site, r.Args)
 		}
 		ws := []code.Word{code.OpCall, d, code.Word(cidx), gcw, code.Word(len(args))}
 		ws = append(ws, args...)
@@ -604,7 +614,7 @@ func (fe *femit) emitRhs(dst *ir.Slot, r ir.Rhs) {
 		gcw := code.Word(-1)
 		if r.CanGC {
 			gcw = fe.site(r.Site, code.SiteCallC, nil, c.descOf(r.SiteType, fe.f))
-			fe.addSiteArgs(gcw, []ir.Atom{r.Clos, r.Arg})
+			fe.addSiteArgs(gcw, r.Site, []ir.Atom{r.Clos, r.Arg})
 		}
 		fe.emit(code.OpCallC, d, gcw, c.atom(r.Clos), c.atom(r.Arg))
 
@@ -646,7 +656,8 @@ func (fe *femit) site(irSite int, kind code.SiteKind, calleeInst []*code.TypeDes
 		if !d.MayHoldPointer() {
 			continue
 		}
-		si.Live = append(si.Live, code.SlotEntry{Slot: s.Idx, Desc: d})
+		spine := d.Kind == code.TDData && fe.c.hl.SpineLiveAt(fe.f, irSite, s.Idx)
+		si.Live = append(si.Live, code.SlotEntry{Slot: s.Idx, Desc: d, Spine: spine})
 	}
 	idx := len(fe.c.prog.Sites)
 	fe.c.prog.Sites = append(fe.c.prog.Sites, si)
@@ -664,7 +675,7 @@ func (fe *femit) siteCall(irSite, calleeIdx int, inst []*code.TypeDesc) code.Wor
 
 // addSiteArgs records the call's pointer-bearing slot operands, the extra
 // roots a task suspended before the call contributes (tasking, §4).
-func (fe *femit) addSiteArgs(gcw code.Word, args []ir.Atom) {
+func (fe *femit) addSiteArgs(gcw code.Word, irSite int, args []ir.Atom) {
 	si := fe.c.prog.Sites[gcw]
 	for _, a := range args {
 		s, ok := a.(*ir.ASlot)
@@ -675,7 +686,8 @@ func (fe *femit) addSiteArgs(gcw code.Word, args []ir.Atom) {
 		if !d.MayHoldPointer() {
 			continue
 		}
-		si.Args = append(si.Args, code.SlotEntry{Slot: s.Slot.Idx, Desc: d})
+		spine := d.Kind == code.TDData && fe.c.hl.SpineArgAt(fe.f, irSite, s.Slot.Idx)
+		si.Args = append(si.Args, code.SlotEntry{Slot: s.Slot.Idx, Desc: d, Spine: spine})
 	}
 }
 

@@ -1,0 +1,457 @@
+// Heap-liveness analysis: which field projections of a recursive datatype
+// can still be demanded after each GC point (Karkare/Khedker/Sanyal,
+// "Liveness of Heap Data for Functional Programs"; the lazy-language
+// follow-up by Kumar/Sanyal/Karkare). The paper's slot liveness (§5.2,
+// compile/liveness) decides whether a slot is traced at all; this pass
+// refines *how much of the structure* a traced slot retains.
+//
+// First cut: the spine-only vs full verdict for list/tree-shaped slots. A
+// slot holding a recursive datatype is spine-only at a site when no
+// element-field projection of its value can be demanded through that slot
+// after the site — e.g. a list subsequently consumed only by length- or
+// append-spine-style code. The collector may then trace just the spine
+// (tag + recursive fields) and prune the element fields.
+//
+// The analysis is a backward element-demand pass over the ANF tree,
+// mirroring compile/liveness's walk, with an interprocedural summary
+// fixpoint over direct calls:
+//
+//	demandsElems[f][i] — may f (or anything it calls) demand an element
+//	projection of parameter i's value?
+//
+// Demand events, all conservative:
+//   - an element-field load (RField of a non-recursive constructor field)
+//     demands the object;
+//   - a recursive-field load (the spine step) transfers the loaded tail's
+//     demand to the object;
+//   - storing into the heap (tuple/ctor/closure/ref operands, RAssign,
+//     RPatchCapture, RSetGlobal) demands the stored value — it becomes
+//     reachable through an object this analysis does not track;
+//   - returning a value (ERet, and EJoin into a demanded join slot)
+//     demands it — the caller may project it;
+//   - a direct call demands its argument when the callee's summary does,
+//     or when the call's own result is demanded (the result may alias any
+//     argument, the append case);
+//   - a closure call demands everything it touches (the callee is
+//     unknown; a 0-CFA refinement is possible but not needed for the
+//     first cut);
+//   - moves propagate demand from destination to source.
+//
+// Tag tests (PTagIs, PIsBoxed) and word comparisons are spine operations
+// and demand nothing — they are exactly what length-style consumers do.
+//
+// Soundness note: the verdict is per-slot ("no demand through this access
+// path"), not per-object. The collector makes that sufficient by tracing
+// every full-verdict root first and letting the pruning kernel stop at
+// already-visited objects, so a structure demanded through any other alias
+// path is retained in full regardless of this slot's verdict (see
+// internal/gc).
+package gcanal
+
+import (
+	"tagfree/internal/ir"
+	"tagfree/internal/mlang/types"
+)
+
+// HeapLiveness is the analysis result the code generator consults when
+// emitting frame maps.
+type HeapLiveness struct {
+	// SpineLive[f][site] holds the slot indexes whose verdict at that GC
+	// site is spine-only, for the site's Live frame map (slots live after
+	// the site).
+	SpineLive map[*ir.Func][]map[int]bool
+	// SpineArgs[f][site] is the same for the site's Args entries — the
+	// roots a task suspended *before* a call contributes. The call has not
+	// happened yet, so the callee's own demand is folded in.
+	SpineArgs map[*ir.Func][]map[int]bool
+	// DemandsElems[f][i] is the converged interprocedural summary: may f
+	// (or anything it calls) demand an element projection of parameter i?
+	DemandsElems map[*ir.Func][]bool
+	// Stats aggregates verdict counts.
+	Stats HLStats
+}
+
+// HLStats summarizes the analysis across the program (experiment E17).
+type HLStats struct {
+	// RecDatatypes counts recursive datatypes seen (spine candidates).
+	RecDatatypes int
+	// SpineSites counts GC sites with at least one spine-only slot.
+	SpineSites int
+	// SpineSlots counts (site, slot) pairs with a spine-only verdict.
+	SpineSlots int
+	// ElemDeadParams counts function parameters proven element-dead by the
+	// summary fixpoint.
+	ElemDeadParams int
+}
+
+// SpineLiveAt reports the spine verdict for a slot in a site's Live map.
+func (hl *HeapLiveness) SpineLiveAt(f *ir.Func, site, slot int) bool {
+	if hl == nil {
+		return false
+	}
+	sets := hl.SpineLive[f]
+	return site < len(sets) && sets[site] != nil && sets[site][slot]
+}
+
+// SpineArgAt reports the spine verdict for a slot in a site's Args list.
+func (hl *HeapLiveness) SpineArgAt(f *ir.Func, site, slot int) bool {
+	if hl == nil {
+		return false
+	}
+	sets := hl.SpineArgs[f]
+	return site < len(sets) && sets[site] != nil && sets[site][slot]
+}
+
+// demandSet is a set of slot indexes whose element projections may be
+// demanded at/after a program point.
+type demandSet map[int]bool
+
+func (s demandSet) clone() demandSet {
+	c := make(demandSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s demandSet) addAtom(a ir.Atom) {
+	if sl, ok := a.(*ir.ASlot); ok && !wordOnly(sl.Slot.Type) {
+		s[sl.Slot.Idx] = true
+	}
+}
+
+// wordOnly reports whether a type is a provably unboxed word (int, bool,
+// unit). Such a value carries no heap structure, so element demand through
+// it is meaningless — in particular a demanded int call result (the length
+// pattern) must not demand the call's arguments via the result-alias rule.
+// Strings, tuples, datatypes, closures and unresolved type variables all
+// may be (or instantiate to) pointers and stay tracked.
+func wordOnly(t types.Type) bool {
+	b, ok := types.Resolve(t).(*types.Base)
+	return ok && b.Kind != types.StringK
+}
+
+func (s demandSet) union(o demandSet) demandSet {
+	out := s.clone()
+	for k := range o {
+		out[k] = true
+	}
+	return out
+}
+
+// hlJoin mirrors liveness.joinCtx for the demand walk.
+type hlJoin struct {
+	dst    *ir.Slot
+	demand demandSet
+}
+
+// hlAnalyzer carries the interprocedural state.
+type hlAnalyzer struct {
+	prog *ir.Program
+	// demandsElems[f][i]: the summary fixpoint (monotone, starts false).
+	demandsElems map[*ir.Func][]bool
+	recData      map[*types.Data]bool
+	changed      bool
+	res          *HeapLiveness
+}
+
+// AnalyzeHeapLiveness runs the element-demand analysis. It must run after
+// the GC-possible analysis (RCall.CanGC refined): verdicts are recorded
+// only for sites that get frame maps.
+func AnalyzeHeapLiveness(p *ir.Program) *HeapLiveness {
+	a := &hlAnalyzer{
+		prog:         p,
+		demandsElems: make(map[*ir.Func][]bool, len(p.Funcs)),
+		recData:      map[*types.Data]bool{},
+		res: &HeapLiveness{
+			SpineLive: make(map[*ir.Func][]map[int]bool, len(p.Funcs)),
+			SpineArgs: make(map[*ir.Func][]map[int]bool, len(p.Funcs)),
+		},
+	}
+	for _, d := range p.Datatypes {
+		if isRecData(d) {
+			a.recData[d] = true
+			a.res.Stats.RecDatatypes++
+		}
+	}
+	for _, f := range p.Funcs {
+		a.demandsElems[f] = make([]bool, f.NParams)
+	}
+
+	// Summary fixpoint: re-walk every body until no parameter's verdict
+	// changes. The walk is monotone in the summaries, so this terminates.
+	for {
+		a.changed = false
+		for _, f := range p.Funcs {
+			d := a.walk(f, nil)
+			for i := 0; i < f.NParams; i++ {
+				if d[f.Slots[i].Idx] && !a.demandsElems[f][i] {
+					a.demandsElems[f][i] = true
+					a.changed = true
+				}
+			}
+		}
+		if !a.changed {
+			break
+		}
+	}
+
+	// Final pass: record per-site verdicts with the converged summaries.
+	for _, f := range p.Funcs {
+		live := make([]map[int]bool, f.NumCallSites)
+		args := make([]map[int]bool, f.NumCallSites)
+		a.res.SpineLive[f] = live
+		a.res.SpineArgs[f] = args
+		a.walk(f, &siteRec{f: f, live: live, args: args, a: a})
+		for i := 0; i < f.NParams; i++ {
+			if !a.demandsElems[f][i] && a.spineCandidate(f.Slots[i]) {
+				a.res.Stats.ElemDeadParams++
+			}
+		}
+	}
+	a.res.DemandsElems = a.demandsElems
+	seen := map[[2]int]bool{}
+	for _, f := range p.Funcs {
+		for site, set := range a.res.SpineLive[f] {
+			n := len(set)
+			if s2 := a.res.SpineArgs[f][site]; s2 != nil {
+				for k := range s2 {
+					if !set[k] {
+						n++
+					}
+				}
+			}
+			if n > 0 && !seen[[2]int{f.ID, site}] {
+				seen[[2]int{f.ID, site}] = true
+				a.res.Stats.SpineSites++
+				a.res.Stats.SpineSlots += n
+			}
+		}
+	}
+	return a.res
+}
+
+// isRecData reports whether a datatype is self-recursive through a boxed
+// constructor field — the list/tree shape the spine kernel can trace.
+func isRecData(d *types.Data) bool {
+	for _, ci := range d.Ctors {
+		if ci.IsNullary() {
+			continue
+		}
+		for _, ft := range ci.Args {
+			if con, ok := types.Resolve(ft).(*types.Con); ok && con.Data == d {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// spineCandidate reports whether a slot's type is a recursive datatype —
+// the only shape that can carry a spine verdict.
+func (a *hlAnalyzer) spineCandidate(s *ir.Slot) bool {
+	con, ok := types.Resolve(s.Type).(*types.Con)
+	return ok && a.recData[con.Data]
+}
+
+// siteRec records per-site verdicts during the final walk (nil during the
+// fixpoint rounds).
+type siteRec struct {
+	f    *ir.Func
+	live []map[int]bool
+	args []map[int]bool
+	a    *hlAnalyzer
+}
+
+// record stores the spine set for one site's Live (or Args) map: every
+// recursive-datatype slot NOT in the demand set.
+func (r *siteRec) record(into []map[int]bool, site int, d demandSet) {
+	set := map[int]bool{}
+	for _, s := range r.f.Slots {
+		if !d[s.Idx] && r.a.spineCandidate(s) {
+			set[s.Idx] = true
+		}
+	}
+	if len(set) > 0 {
+		into[site] = set
+	}
+}
+
+// walk runs the backward demand pass over f's body and returns the demand
+// set at entry. rec, when non-nil, records per-site verdicts.
+func (a *hlAnalyzer) walk(f *ir.Func, rec *siteRec) demandSet {
+	return a.walkExpr(f.Body, nil, rec)
+}
+
+func (a *hlAnalyzer) walkExpr(e ir.Expr, jc *hlJoin, rec *siteRec) demandSet {
+	switch e := e.(type) {
+	case *ir.ERet:
+		// The value escapes to the caller, which may project it.
+		d := demandSet{}
+		d.addAtom(e.A)
+		return d
+
+	case *ir.EJoin:
+		if jc == nil {
+			d := demandSet{}
+			d.addAtom(e.A)
+			return d
+		}
+		d := jc.demand.clone()
+		if jc.dst != nil {
+			if d[jc.dst.Idx] {
+				// The join slot's elements are demanded downstream; the
+				// joined value feeds it.
+				d.addAtom(e.A)
+			}
+			delete(d, jc.dst.Idx)
+		}
+		return d
+
+	case *ir.EMatchFail:
+		return demandSet{}
+
+	case *ir.ELet:
+		after := a.walkExpr(e.Cont, jc, rec)
+		d := after.clone()
+		dstDemanded := d[e.Dst.Idx]
+		delete(d, e.Dst.Idx)
+		a.walkRhs(e.Rhs, e.Dst, dstDemanded, d, after, rec)
+		return d
+
+	case *ir.ECond:
+		inner := jc
+		if e.Dst != nil || e.Cont != nil {
+			contD := a.walkExpr(e.Cont, jc, rec)
+			inner = &hlJoin{dst: e.Dst, demand: contD}
+		}
+		thenD := a.walkExpr(e.Then, inner, rec)
+		elseD := a.walkExpr(e.Else, inner, rec)
+		// The condition is a word test: no element demand.
+		return thenD.union(elseD)
+	}
+	return demandSet{}
+}
+
+// walkRhs applies one computation's demand rules to d (the demand set
+// before the binding; dst already removed). after is the demand set after
+// the binding (for site recording); dstDemanded says whether the bound
+// value's elements are demanded downstream.
+func (a *hlAnalyzer) walkRhs(r ir.Rhs, dst *ir.Slot, dstDemanded bool, d, after demandSet, rec *siteRec) {
+	switch r := r.(type) {
+	case *ir.RAtom:
+		if dstDemanded {
+			d.addAtom(r.A)
+		}
+
+	case *ir.RPrim:
+		// Tag tests, pointer discrimination and word comparisons are spine
+		// operations; arithmetic operands are unboxed. No demand.
+
+	case *ir.RField:
+		if spineStep(r) {
+			// Loading a recursive field: the tail is a sub-spine of the
+			// object, so the tail's demand is the object's demand.
+			if dstDemanded {
+				d.addAtom(r.Obj)
+			}
+		} else {
+			// An element-field (or capture/tuple-component) load projects
+			// past the spine: the object's elements are demanded.
+			d.addAtom(r.Obj)
+		}
+
+	case *ir.RDeref:
+		d.addAtom(r.Ref)
+
+	case *ir.RAssign:
+		d.addAtom(r.Ref)
+		d.addAtom(r.Val)
+
+	case *ir.RRef:
+		d.addAtom(r.Init)
+		if rec != nil {
+			rec.record(rec.live, r.Site, d)
+		}
+
+	case *ir.RTuple:
+		for _, e := range r.Elems {
+			d.addAtom(e)
+		}
+		if rec != nil {
+			rec.record(rec.live, r.Site, d)
+		}
+
+	case *ir.RCtor:
+		for _, e := range r.Args {
+			d.addAtom(e)
+		}
+		if rec != nil {
+			rec.record(rec.live, r.Site, d)
+		}
+
+	case *ir.RClosure:
+		for _, e := range r.Captures {
+			d.addAtom(e)
+		}
+		if rec != nil {
+			rec.record(rec.live, r.Site, d)
+		}
+
+	case *ir.RCall:
+		// Record the Live verdict first: demand after the call returns.
+		// (During the call the callee holds its own copy of each argument
+		// as a root with its own frame map and verdict.)
+		if rec != nil && r.CanGC {
+			rec.record(rec.live, r.Site, after)
+		}
+		sum := a.demandsElems[r.Callee]
+		for i, arg := range r.Args {
+			if dstDemanded || i >= len(sum) || sum[i] {
+				d.addAtom(arg)
+			}
+		}
+		// Args entries root a task suspended before the call: the call
+		// re-executes on resume, so the callee's demand applies.
+		if rec != nil && r.CanGC {
+			rec.record(rec.args, r.Site, d)
+		}
+
+	case *ir.RCallClos:
+		if rec != nil && r.CanGC {
+			rec.record(rec.live, r.Site, after)
+		}
+		// Unknown callee: everything it touches is demanded.
+		d.addAtom(r.Clos)
+		d.addAtom(r.Arg)
+		if rec != nil && r.CanGC {
+			rec.record(rec.args, r.Site, d)
+		}
+
+	case *ir.RBuiltin:
+		for _, e := range r.Args {
+			d.addAtom(e)
+		}
+
+	case *ir.RSetGlobal:
+		d.addAtom(r.Val)
+
+	case *ir.RPatchCapture:
+		d.addAtom(r.Clos)
+		d.addAtom(r.Val)
+	}
+	_ = dst
+}
+
+// spineStep reports whether an RField load follows a recursive
+// (self-typed) constructor field — the spine traversal step.
+func spineStep(r *ir.RField) bool {
+	if r.FromCtor == nil || r.FromCapture {
+		return false
+	}
+	if r.Index >= len(r.FromCtor.Args) {
+		return false
+	}
+	con, ok := types.Resolve(r.FromCtor.Args[r.Index]).(*types.Con)
+	return ok && con.Data == r.FromCtor.Data
+}

@@ -1,0 +1,175 @@
+package gcanal
+
+import (
+	"testing"
+
+	"tagfree/internal/ir"
+)
+
+// hlAnalyze runs the pipeline prefix heap-liveness depends on: the
+// GC-possible analysis refines RCall.CanGC before verdicts are recorded.
+func hlAnalyze(t *testing.T, src string) (*ir.Program, *HeapLiveness) {
+	t.Helper()
+	p, _ := analyze(t, src)
+	return p, AnalyzeHeapLiveness(p)
+}
+
+func slotIdx(t *testing.T, f *ir.Func, name string) int {
+	t.Helper()
+	for _, s := range f.Slots {
+		if s.Name == name {
+			return s.Idx
+		}
+	}
+	t.Fatalf("no slot %q in %s", name, f.Name)
+	return -1
+}
+
+// anyLiveSpine reports whether any GC site in f carries a spine-only Live
+// verdict for the slot.
+func anyLiveSpine(hl *HeapLiveness, f *ir.Func, slot int) bool {
+	for site := range hl.SpineLive[f] {
+		if hl.SpineLiveAt(f, site, slot) {
+			return true
+		}
+	}
+	return false
+}
+
+const lenSumSrc = `
+type tree = Leaf | Node of tree * int * tree
+let rec len xs = match xs with | [] -> 0 | _ :: t -> 1 + len t
+let rec sum xs = match xs with | [] -> 0 | h :: t -> h + sum t
+let rec build n = if n = 0 then [] else n :: build (n - 1)
+let rec depth t = match t with | Leaf -> 0 | Node (l, _, r) ->
+  let dl = depth l in let dr = depth r in
+  if dl > dr then dl + 1 else dr + 1
+let rec total t = match t with | Leaf -> 0 | Node (l, v, r) -> total l + v + total r
+let spin xs = let ys = build 3 in len xs + len ys
+let full xs = let ys = build 3 in sum xs + len ys
+let main () = spin (build 4) + full (build 4) + depth Leaf + total Leaf
+`
+
+// length-style consumers never project past the spine: their parameter is
+// proven element-dead. sum-style consumers load the element field and are
+// not.
+func TestElemDemandSummaries(t *testing.T) {
+	p, hl := hlAnalyze(t, lenSumSrc)
+	cases := []struct {
+		fn     string
+		param  int
+		demand bool
+	}{
+		{"len", 0, false},
+		{"sum", 0, true},
+		{"depth", 0, false}, // spine-only on trees: recursive fields + int compares
+		{"total", 0, true},  // loads the int payload
+	}
+	for _, c := range cases {
+		f := fn(t, p, c.fn)
+		if got := hl.DemandsElems[f][c.param]; got != c.demand {
+			t.Errorf("%s param %d: demandsElems = %v, want %v", c.fn, c.param, got, c.demand)
+		}
+	}
+	if hl.Stats.RecDatatypes < 2 { // builtin list + tree
+		t.Errorf("RecDatatypes = %d, want >= 2", hl.Stats.RecDatatypes)
+	}
+	if hl.Stats.ElemDeadParams < 2 { // len xs, depth t at minimum
+		t.Errorf("ElemDeadParams = %d, want >= 2", hl.Stats.ElemDeadParams)
+	}
+}
+
+// A list held live across an allocation gets the spine verdict exactly when
+// its downstream consumer is spine-only.
+func TestSpineVerdictAtAllocSite(t *testing.T) {
+	p, hl := hlAnalyze(t, lenSumSrc)
+
+	spin := fn(t, p, "spin")
+	if xs := slotIdx(t, spin, "xs"); !anyLiveSpine(hl, spin, xs) {
+		t.Error("spin: xs is consumed only by len after build — want a spine-only Live verdict")
+	}
+	full := fn(t, p, "full")
+	if xs := slotIdx(t, full, "xs"); anyLiveSpine(hl, full, xs) {
+		t.Error("full: sum xs projects the elements after build — xs must stay full")
+	}
+	if hl.Stats.SpineSites == 0 || hl.Stats.SpineSlots == 0 {
+		t.Errorf("stats: SpineSites=%d SpineSlots=%d, want > 0",
+			hl.Stats.SpineSites, hl.Stats.SpineSlots)
+	}
+}
+
+// The append shape: the result aliases an argument, so a demanded result
+// demands every argument (and the element load demands the head's list).
+func TestAppendResultAliasDemandsArgs(t *testing.T) {
+	p, hl := hlAnalyze(t, `
+let rec app xs ys = match xs with | [] -> ys | h :: t -> h :: app t ys
+let rec sum xs = match xs with | [] -> 0 | h :: t -> h + sum t
+let main () = sum (app [1] [2])
+`)
+	app := fn(t, p, "app")
+	for i := 0; i < 2; i++ {
+		if !hl.DemandsElems[app][i] {
+			t.Errorf("app param %d: result is returned and may alias either list; must demand elems", i)
+		}
+	}
+}
+
+// Dual verdicts at one call site: the Live map sees demand after the call
+// returns, the Args list (rooting a task suspended before the call) must
+// fold in the callee's own demand.
+func TestLiveVersusArgsVerdict(t *testing.T) {
+	p, hl := hlAnalyze(t, `
+let rec len xs = match xs with | [] -> 0 | _ :: t -> 1 + len t
+let rec sum xs = match xs with | [] -> 0 | h :: t -> h + sum t
+let rec build n = if n = 0 then [] else n :: build (n - 1)
+let sumalloc xs = let s = sum xs in [s]
+let tailuse xs = let ys = sumalloc xs in len ys
+let main () = tailuse (build 3)
+`)
+	f := fn(t, p, "tailuse")
+	xs := slotIdx(t, f, "xs")
+	found := false
+	for site := range hl.SpineLive[f] {
+		live, arg := hl.SpineLiveAt(f, site, xs), hl.SpineArgAt(f, site, xs)
+		if live || arg {
+			found = true
+		}
+		if arg {
+			t.Errorf("site %d: Args verdict for xs must be full — sum demands elements on re-execution", site)
+		}
+	}
+	if !found {
+		t.Error("want at least one site with a Live spine verdict for xs (dead after the call)")
+	}
+}
+
+// Storing a list into the heap (a ref cell, a constructor, a tuple) makes
+// it reachable through an untracked object: demand it.
+func TestHeapStoreDemands(t *testing.T) {
+	p, hl := hlAnalyze(t, `
+let rec len xs = match xs with | [] -> 0 | _ :: t -> 1 + len t
+let rec build n = if n = 0 then [] else n :: build (n - 1)
+let stash xs = let r = ref xs in let n = len xs in let v = !r in n + len v
+let main () = stash (build 3)
+`)
+	f := fn(t, p, "stash")
+	xs := slotIdx(t, f, "xs")
+	// The ref-cell store escapes xs before any recorded site; every later
+	// site must keep xs full.
+	for site := range hl.SpineLive[f] {
+		if hl.SpineLiveAt(f, site, xs) {
+			// Only sites before the store could be spine — the store is the
+			// first computation, so none may be.
+			t.Errorf("site %d: xs escaped into a ref cell; verdict must be full", site)
+		}
+	}
+	_ = hl.DemandsElems[fn(t, p, "len")]
+}
+
+// Nil-receiver accessors let codegen run without the analysis.
+func TestNilHeapLiveness(t *testing.T) {
+	var hl *HeapLiveness
+	if hl.SpineLiveAt(nil, 0, 0) || hl.SpineArgAt(nil, 0, 0) {
+		t.Error("nil HeapLiveness must report no spine verdicts")
+	}
+}

@@ -101,6 +101,9 @@ func (c *fctx) genTest(pat ast.Pattern, v ir.Atom, em *emitter) ir.Atom {
 		elemTypes := c.tupleElemTypes(pat)
 		var acc ir.Atom
 		for i, el := range p.Elems {
+			if patternTestFree(el) {
+				continue // no test to run: don't load the field here
+			}
 			i, el := i, el
 			acc = c.andLazy(acc, em, func(em2 *emitter) ir.Atom {
 				f := c.loadField(v, i, nil, elemTypes[i], em2)
@@ -153,6 +156,9 @@ func (c *fctx) genCtorTest(p *ast.PCtor, v ir.Atom, em *emitter) ir.Atom {
 		})
 	}
 	for i, a := range args {
+		if patternTestFree(a) {
+			continue // binding loads happen in genBind; skip the dead load
+		}
 		i, a := i, a
 		acc = c.andLazy(acc, em, func(em2 *emitter) ir.Atom {
 			f := c.loadField(v, i, ci, fieldTypes[i], em2)
@@ -160,6 +166,26 @@ func (c *fctx) genCtorTest(p *ast.PCtor, v ir.Atom, em *emitter) ir.Atom {
 		})
 	}
 	return acc
+}
+
+// patternTestFree reports whether genTest on the pattern emits no test at
+// all (wildcards, variables, unit, and tuples thereof). Field loads feeding
+// such subpatterns would be dead code — and, once liveness-guided tracing
+// can prune provably dead element fields, a dead load of a pruned word
+// would falsely trip the poison-debug trap — so callers skip them.
+func patternTestFree(p ast.Pattern) bool {
+	switch p := p.(type) {
+	case *ast.PWild, *ast.PVar, *ast.PUnit:
+		return true
+	case *ast.PTuple:
+		for _, e := range p.Elems {
+			if !patternTestFree(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // emitPrimBool emits a boolean-producing primitive over one or two atoms.

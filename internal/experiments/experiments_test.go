@@ -13,8 +13,8 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Skip("experiments are slow; skipped with -short")
 	}
 	tables := All(1)
-	if len(tables) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(tables))
 	}
 	seen := map[string]*Table{}
 	for _, tb := range tables {
@@ -32,7 +32,7 @@ func TestAllExperimentsRun(t *testing.T) {
 			t.Errorf("%s: malformed rendering", tb.ID)
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
 		if seen[id] == nil {
 			t.Errorf("missing experiment %s", id)
 		}
@@ -48,6 +48,42 @@ func TestE1Shape(t *testing.T) {
 		if row[3] < "1.0" {
 			t.Errorf("%s: tagged/tagfree ratio %s < 1.0 — the E1 claim failed", row[0], row[3])
 		}
+	}
+}
+
+// TestE17Shape asserts the heap-liveness claims: the spine workload
+// prunes (pruned words > 0, strictly less retention than full-structure
+// tracing), the element-demanding control prunes nothing and retains
+// exactly the oracle's words, and every row's results are bit-identical.
+func TestE17Shape(t *testing.T) {
+	tb := E17HeapLiveness()
+	byName := map[string][]string{}
+	for _, row := range tb.Rows {
+		byName[row[0]] = row
+		// columns: ..., copied full(6), copied pruned(7), ratio(8), equal(9)
+		if row[9] != "true" {
+			t.Errorf("%s: pruned run diverged from the oracle", row[0])
+		}
+	}
+	spine := byName["taskspine"]
+	if spine == nil {
+		t.Fatal("E17 lost its taskspine row")
+	}
+	if spine[4] == "0" {
+		t.Error("taskspine: pruned words = 0 — the spine verdicts never reached a pruning kernel")
+	}
+	if spine[7] >= spine[6] && len(spine[7]) >= len(spine[6]) {
+		t.Errorf("taskspine: pruned retention %s not below full retention %s", spine[7], spine[6])
+	}
+	churn := byName["taskchurn"]
+	if churn == nil {
+		t.Fatal("E17 lost its taskchurn control row")
+	}
+	if churn[4] != "0" {
+		t.Errorf("taskchurn control pruned %s words — its elements are all demanded", churn[4])
+	}
+	if churn[6] != churn[7] {
+		t.Errorf("taskchurn control retention changed: %s full vs %s pruned", churn[6], churn[7])
 	}
 }
 

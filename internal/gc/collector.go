@@ -92,6 +92,9 @@ type Stats struct {
 	// KernelWords counts heap words traced by specialized kernels instead
 	// of per-word Trace interface dispatch.
 	KernelWords int64
+	// PrunedWords counts dead element fields sentinel-overwritten instead
+	// of traced by the liveness-guided spine-only kernels (liveness.go).
+	PrunedWords int64
 }
 
 // DebugTrace, when set, logs every frame and slot traced (tests only).
@@ -141,6 +144,18 @@ type Collector struct {
 	ConcMarkBudget int
 	ConcMaxSlices  int
 
+	// HeapLiveness arms liveness-guided tracing: slots whose frame-trace
+	// metadata carries a spine-only verdict are traced by pruning kernels
+	// that sentinel-overwrite provably dead element fields (liveness.go).
+	// Pruning engages per collection only inside its degrade envelope —
+	// compiled strategy, fast path on, serial trace, no shard overlap, no
+	// concurrent cycle — and Liveness counts both engagements and every
+	// degrade reason.
+	HeapLiveness bool
+	// Liveness counts liveness-guided pruning activity (see liveness.go);
+	// all zero unless HeapLiveness is set.
+	Liveness LivenessStats
+
 	// Gen counts generational activity (see generational.go); all zero
 	// unless the heap has a nursery.
 	Gen GenStats
@@ -167,6 +182,11 @@ type Collector struct {
 	// conc is the in-flight concurrent mark cycle, nil when none is
 	// active (concurrent.go).
 	conc *concCycle
+	// pruneOn marks a collection with liveness-guided pruning engaged;
+	// pruneQ holds the deferred spine-only roots drained after every full
+	// root has been traced (liveness.go).
+	pruneOn bool
+	pruneQ  []pruneItem
 	// compiledSites holds the prebuilt frame routines (compiled mode).
 	compiledSites [][]slotTracer
 	// interpSites holds the serialized frame maps (interp mode).
@@ -181,6 +201,7 @@ type slotTracer struct {
 	slot   int
 	ground TypeGC         // non-nil when the descriptor is monomorphic
 	desc   *code.TypeDesc // otherwise resolved against frame type args
+	spine  bool           // heap-liveness verdict: only the spine is live
 }
 
 // New builds a collector, precompiling the strategy's metadata (the
@@ -200,7 +221,7 @@ func New(prog *code.Program, h *heap.Heap, strat Strategy) (*Collector, error) {
 		for i, si := range prog.Sites {
 			routine := make([]slotTracer, 0, len(si.Live))
 			for _, e := range si.Live {
-				st := slotTracer{slot: e.Slot, desc: e.Desc}
+				st := slotTracer{slot: e.Slot, desc: e.Desc, spine: e.Spine}
 				if isGround(e.Desc) {
 					st.ground = c.FromDesc(e.Desc, nil)
 				}
@@ -388,6 +409,7 @@ func (c *Collector) CollectFull(tasks []TaskRoots, globals []code.Word) {
 	// phase 2 — so it stays parallel with a nursery.
 	parallel := c.Parallelism > 1 && c.Strat != StratTagged &&
 		!(nursery && c.Heap.Kind() == heap.MarkSweep)
+	c.beginPrune(parallel, false)
 	fallback := false
 	if parallel {
 		// Republish the memo-table and plan-cache snapshots so workers
@@ -397,6 +419,7 @@ func (c *Collector) CollectFull(tasks []TaskRoots, globals []code.Word) {
 	} else {
 		c.collectSerial(tasks, scans)
 	}
+	c.endPrune()
 
 	if c.Strat == StratTagged {
 		c.cheneyScan()
@@ -435,10 +458,12 @@ func (c *Collector) collectMinor(tasks []TaskRoots, globals []code.Word) {
 	c.Heap.BeginMinorGC()
 	c.genTracking = true
 
+	c.beginPrune(false, false)
 	c.traceGlobals(globals)
 	scans := make([]TaskScan, len(tasks))
 	c.collectSerial(tasks, scans)
 	c.traceRemembered()
+	c.endPrune()
 
 	c.Stats.TypeGCBuilt = c.b.Built
 	c.genTracking = false
@@ -478,10 +503,15 @@ func (c *Collector) CollectMinorShard(shard int, tasks []TaskRoots, globals []co
 	c.Heap.BeginMinorGCShard(shard)
 	c.genTracking = true
 
+	// Never prune during a shard minor: other shards' mutators keep
+	// running and may hold live paths into structures this shard's roots
+	// only reach spine-only — beginPrune refuses and counts the reason.
+	c.beginPrune(false, true)
 	c.traceGlobals(globals)
 	scans := make([]TaskScan, len(tasks))
 	c.collectSerial(tasks, scans)
 	c.traceRememberedShard(shard)
+	c.endPrune()
 
 	c.Stats.TypeGCBuilt = c.b.Built
 	c.genTracking = false

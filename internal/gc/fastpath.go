@@ -94,49 +94,129 @@ const (
 	// kTupleFlat: a tuple of all-unboxed fields — copy one object whose
 	// field words are already correct verbatim.
 	kTupleFlat
-	// kSpineFlat: a datatype whose boxed constructors carry only unboxed
-	// payload fields plus self-recursive fields (int lists, enums with
-	// data, binary trees over unboxed payloads) — an iterative loop over
-	// the rightmost spine with direct recursion into the other
-	// self-recursive fields, zero per-field dispatch.
+	// kBoxFlat: a fixed tree of flat boxes — a tuple (or ref) whose boxed
+	// fields are themselves flat boxes all the way down (nested flat
+	// tuples, refs of flat tuples). Traced by a precomputed boxKernel with
+	// no per-field dispatch.
+	kBoxFlat
+	// kSpineFlat: a datatype whose boxed constructors carry unboxed
+	// payload fields, flat-box payload fields, and self-recursive fields
+	// (int lists, lists of flat tuples, enums with data, binary trees) —
+	// an iterative loop over the rightmost spine with direct recursion
+	// into the other self-recursive fields and boxKernel copies for the
+	// boxed payloads, zero per-field dispatch.
 	kSpineFlat
 )
+
+// boxKernel is the precomputed layout of a fixed "flat box": an object of
+// size words whose fields are unboxed except subs, each itself a flat box.
+type boxKernel struct {
+	size int
+	subs []boxSub
+}
+
+// boxSub is one boxed field of a flat box: its offset, the field's routine
+// (for the generational write barrier), and its own layout.
+type boxSub struct {
+	off int
+	g   TypeGC
+	box *boxKernel
+}
+
+// flatBox builds the boxKernel for a routine, or nil when the shape is not
+// a fixed tree of flat boxes. Only tuples and refs recurse, so the shape
+// is a finite type tree and the recursion terminates.
+func (c *Collector) flatBox(g TypeGC) *boxKernel {
+	switch g := g.(type) {
+	case *tupleG:
+		bk := &boxKernel{size: len(g.fields)}
+		for i, f := range g.fields {
+			if _, ok := f.(*constG); ok {
+				continue
+			}
+			sub := c.flatBox(f)
+			if sub == nil {
+				return nil
+			}
+			bk.subs = append(bk.subs, boxSub{off: i, g: f, box: sub})
+		}
+		return bk
+	case *refG:
+		bk := &boxKernel{size: 1}
+		if _, ok := g.elem.(*constG); ok {
+			return bk
+		}
+		sub := c.flatBox(g.elem)
+		if sub == nil {
+			return nil
+		}
+		bk.subs = append(bk.subs, boxSub{off: 0, g: g.elem, box: sub})
+		return bk
+	}
+	return nil
+}
+
+// sfKind distinguishes the non-const work a spine step performs.
+type sfKind uint8
+
+const (
+	// sfSelf recurses the spine routine itself (a tree child).
+	sfSelf sfKind = iota
+	// sfBox copies a flat-box payload through its boxKernel.
+	sfBox
+	// sfPrune writes the PrunedWord sentinel instead of tracing: the
+	// heap-liveness verdict proved the payload unreachable through this
+	// access path (classifyPrune kernels only; see tracePrune).
+	sfPrune
+)
+
+// spineField is one non-const, non-tail field of a spine constructor, in
+// field order (matching dataG.Trace's dispatch order exactly).
+type spineField struct {
+	off  int
+	kind sfKind
+	g    TypeGC     // the field's routine, for the write barrier
+	box  *boxKernel // sfBox only
+}
 
 // spineKernel is the precomputed per-tag layout a kSpineFlat loop needs:
 // the visited object size, the recursive tail field offset (-1 for a
 // terminal constructor) iterated without growing the Go stack, and the
-// remaining self-recursive field offsets (tree children), recursed in
-// field order. All offsets include the optional tag word.
+// remaining traced fields in field order. All offsets include the optional
+// tag word.
 type spineKernel struct {
 	hasTag bool
 	size   []int
 	tail   []int
-	self   [][]int
+	steps  [][]spineField
 }
 
 // classify picks the kernel for a routine. Classification resolves the
 // same descriptors Trace would, so it builds no nodes Trace would not.
-func (c *Collector) classify(g TypeGC) (kernel, *spineKernel) {
+func (c *Collector) classify(g TypeGC) (kernel, *spineKernel, *boxKernel) {
 	switch g := g.(type) {
 	case *constG:
-		return kConst, nil
+		return kConst, nil, nil
 	case *refG:
 		if _, ok := g.elem.(*constG); ok {
-			return kRefConst, nil
+			return kRefConst, nil, nil
+		}
+		if bk := c.flatBox(g); bk != nil {
+			return kBoxFlat, nil, bk
 		}
 	case *tupleG:
-		for _, f := range g.fields {
-			if _, ok := f.(*constG); !ok {
-				return kGeneric, nil
+		if bk := c.flatBox(g); bk != nil {
+			if len(bk.subs) == 0 {
+				return kTupleFlat, nil, nil
 			}
+			return kBoxFlat, nil, bk
 		}
-		return kTupleFlat, nil
 	case *dataG:
 		sk := &spineKernel{
 			hasTag: g.layout.HasTagWord,
 			size:   make([]int, len(g.layout.Boxed)),
 			tail:   make([]int, len(g.layout.Boxed)),
-			self:   make([][]int, len(g.layout.Boxed)),
+			steps:  make([][]spineField, len(g.layout.Boxed)),
 		}
 		off := 0
 		if sk.hasTag {
@@ -156,18 +236,72 @@ func (c *Collector) classify(g TypeGC) (kernel, *spineKernel) {
 					if i == len(fields)-1 {
 						sk.tail[tag] = off + i
 					} else {
-						sk.self[tag] = append(sk.self[tag], off+i)
+						sk.steps[tag] = append(sk.steps[tag], spineField{off: off + i, kind: sfSelf, g: fgc})
 					}
 					continue
 				}
-				if _, ok := fgc.(*constG); !ok {
-					return kGeneric, nil
+				if _, ok := fgc.(*constG); ok {
+					continue
 				}
+				if bk := c.flatBox(fgc); bk != nil {
+					sk.steps[tag] = append(sk.steps[tag], spineField{off: off + i, kind: sfBox, g: fgc, box: bk})
+					continue
+				}
+				return kGeneric, nil, nil
 			}
 		}
-		return kSpineFlat, sk
+		return kSpineFlat, sk, nil
 	}
-	return kGeneric, nil
+	return kGeneric, nil, nil
+}
+
+// classifyPrune builds the spine-only pruning kernel for a routine, or nil
+// when pruning does not apply. It is more permissive than classify: every
+// non-const, non-self field is pruned (sentinel-overwritten) rather than
+// traced, so payload shape does not matter. The one refusal is a
+// same-datatype field at a *different* instantiation (non-regular
+// recursion): the compile-side analysis treats any same-datatype field as
+// a spine step, so pruning it would sever a spine the program may still
+// walk.
+func (c *Collector) classifyPrune(g TypeGC) *spineKernel {
+	dg, ok := g.(*dataG)
+	if !ok {
+		return nil
+	}
+	sk := &spineKernel{
+		hasTag: dg.layout.HasTagWord,
+		size:   make([]int, len(dg.layout.Boxed)),
+		tail:   make([]int, len(dg.layout.Boxed)),
+		steps:  make([][]spineField, len(dg.layout.Boxed)),
+	}
+	off := 0
+	if sk.hasTag {
+		off = 1
+	}
+	for tag := range dg.layout.Boxed {
+		fields := dg.layout.Boxed[tag].Fields
+		sk.size[tag] = off + len(fields)
+		sk.tail[tag] = -1
+		for i, fd := range fields {
+			fgc := c.FromDesc(fd, dg.args)
+			if fgc == g {
+				if i == len(fields)-1 {
+					sk.tail[tag] = off + i
+				} else {
+					sk.steps[tag] = append(sk.steps[tag], spineField{off: off + i, kind: sfSelf, g: fgc})
+				}
+				continue
+			}
+			if fdg, same := fgc.(*dataG); same && fdg.layoutID == dg.layoutID {
+				return nil // non-regular recursion: the analysis calls this a spine step
+			}
+			if _, isConst := fgc.(*constG); isConst {
+				continue
+			}
+			sk.steps[tag] = append(sk.steps[tag], spineField{off: off + i, kind: sfPrune, g: fgc})
+		}
+	}
+	return sk
 }
 
 // traceKernel traces one root through its specialized loop (or the generic
@@ -201,10 +335,50 @@ func (c *Collector) traceKernel(ps *planSlot, w code.Word, st *Stats) code.Word 
 			st.KernelWords += int64(n)
 		}
 		return nw
+	case kBoxFlat:
+		return c.traceBox(ps.box, w, st)
 	case kSpineFlat:
 		return c.traceSpine(ps.spine, ps.g, w, st)
 	}
 	return ps.g.Trace(c, w)
+}
+
+// traceBox copies one flat box and its sub-boxes — tupleG/refG.Trace minus
+// the per-field dispatch. Sub-boxes are visited in field order, exactly
+// where Trace would dispatch on them, so heaps stay bit-identical.
+func (c *Collector) traceBox(bk *boxKernel, w code.Word, st *Stats) code.Word {
+	if !code.IsBoxedValue(c.Heap.Repr, w) {
+		return w
+	}
+	nw, fresh := c.Heap.VisitObject(w, bk.size)
+	if !fresh {
+		return nw
+	}
+	st.ObjectsCopied++
+	st.KernelWords += int64(bk.size)
+	for i := range bk.subs {
+		s := &bk.subs[i]
+		c.setField(nw, s.off, c.traceBox(s.box, c.Heap.Field(nw, s.off), st), s.g)
+	}
+	return nw
+}
+
+// markBox is traceBox's read-only twin for parallel mark/sweep marking.
+// Returns the words newly marked.
+func (c *Collector) markBox(bk *boxKernel, w code.Word, st *Stats) int64 {
+	if !code.IsBoxedValue(c.Heap.Repr, w) {
+		return 0
+	}
+	if _, fresh := c.Heap.VisitShared(w, bk.size); !fresh {
+		return 0
+	}
+	st.ObjectsCopied++
+	st.KernelWords += int64(bk.size)
+	words := int64(bk.size)
+	for i := range bk.subs {
+		words += c.markBox(bk.subs[i].box, c.Heap.Field(w, bk.subs[i].off), st)
+	}
+	return words
 }
 
 // traceSpine is the flattened loop for const-payload data spines: visit,
@@ -241,10 +415,24 @@ func (c *Collector) traceSpine(sk *spineKernel, g TypeGC, w code.Word, st *Stats
 		}
 		st.ObjectsCopied++
 		st.KernelWords += int64(sk.size[tag])
-		// Non-tail self-recursive fields (tree children) recurse in field
-		// order, exactly where dataG.Trace would dispatch g.Trace on them.
-		for _, f := range sk.self[tag] {
-			c.setField(nw, f, c.traceSpine(sk, g, c.Heap.Field(nw, f), st), g)
+		// Non-tail, non-const fields run in field order, exactly where
+		// dataG.Trace would dispatch on them: tree children recurse the
+		// spine, flat-box payloads copy through their boxKernel, and a
+		// pruning kernel's dead payloads are sentinel-overwritten (the
+		// liveness-guided trace; drained only after every full root — see
+		// drainPrune — so an already-visited object stops the walk before
+		// anything a live path reached is pruned).
+		for i := range sk.steps[tag] {
+			f := &sk.steps[tag][i]
+			switch f.kind {
+			case sfSelf:
+				c.setField(nw, f.off, c.traceSpine(sk, g, c.Heap.Field(nw, f.off), st), g)
+			case sfBox:
+				c.setField(nw, f.off, c.traceBox(f.box, c.Heap.Field(nw, f.off), st), f.g)
+			case sfPrune:
+				c.setField(nw, f.off, code.PrunedWord, f.g)
+				st.PrunedWords++
+			}
 		}
 		t := sk.tail[tag]
 		if t < 0 {
@@ -284,6 +472,8 @@ func (c *Collector) markKernel(ps *planSlot, w code.Word, st *Stats) int64 {
 		st.ObjectsCopied++
 		st.KernelWords += int64(n)
 		return int64(n)
+	case kBoxFlat:
+		return c.markBox(ps.box, w, st)
 	case kSpineFlat:
 		return c.markSpine(ps.spine, w, st)
 	}
@@ -307,8 +497,18 @@ func (c *Collector) markSpine(sk *spineKernel, w code.Word, st *Stats) int64 {
 		st.ObjectsCopied++
 		st.KernelWords += int64(sk.size[tag])
 		words += int64(sk.size[tag])
-		for _, f := range sk.self[tag] {
-			words += c.markSpine(sk, c.Heap.Field(w, f), st)
+		for i := range sk.steps[tag] {
+			f := &sk.steps[tag][i]
+			switch f.kind {
+			case sfSelf:
+				words += c.markSpine(sk, c.Heap.Field(w, f.off), st)
+			case sfBox:
+				words += c.markBox(f.box, c.Heap.Field(w, f.off), st)
+			default:
+				// Pruning kernels never reach the read-only mark path
+				// (pruning is serial-only); mark conservatively if one does.
+				words += c.markValue(f.g, c.Heap.Field(w, f.off), st)
+			}
 		}
 		t := sk.tail[tag]
 		if t < 0 {
@@ -329,6 +529,16 @@ type planSlot struct {
 	g     TypeGC
 	k     kernel
 	spine *spineKernel
+	box   *boxKernel
+	// prune, when non-nil, is the spine-only pruning kernel for a slot
+	// whose heap-liveness verdict at this site is spine-only; the serial
+	// trace defers such slots and drains them after every full root
+	// (drainPrune). pruneAtCall is the variant for a frame suspended
+	// *before* its call: an argument slot's full Args verdict overrides
+	// the after-call Live verdict there, because the call re-executes on
+	// resume and the callee's own demand applies.
+	prune       *spineKernel
+	pruneAtCall *spineKernel
 }
 
 // framePlan is a fully resolved frame routine for one (site, incoming
@@ -544,8 +754,22 @@ func (c *Collector) buildPlan(siteIdx int, site *code.SiteInfo, targs []TypeGC) 
 		if g == nil {
 			g = c.FromDesc(tr.desc, targs)
 		}
-		k, sp := c.classify(g)
-		p.slots = append(p.slots, planSlot{slot: tr.slot, g: g, k: k, spine: sp})
+		k, sp, bk := c.classify(g)
+		ps := planSlot{slot: tr.slot, g: g, k: k, spine: sp, box: bk}
+		if tr.spine {
+			if pk := c.classifyPrune(g); pk != nil {
+				ps.prune, ps.pruneAtCall = pk, pk
+				for _, e := range site.Args {
+					// A full Args verdict for the same slot wins at
+					// suspended-call frames: the callee re-demands it.
+					if e.Slot == tr.slot && !e.Spine {
+						ps.pruneAtCall = nil
+						break
+					}
+				}
+			}
+		}
+		p.slots = append(p.slots, ps)
 		seen.add(tr.slot)
 	}
 	for _, e := range site.Args {
@@ -553,24 +777,49 @@ func (c *Collector) buildPlan(siteIdx int, site *code.SiteInfo, targs []TypeGC) 
 			continue
 		}
 		g := c.FromDesc(e.Desc, targs)
-		k, sp := c.classify(g)
-		p.args = append(p.args, planSlot{slot: e.Slot, g: g, k: k, spine: sp})
+		k, sp, bk := c.classify(g)
+		ps := planSlot{slot: e.Slot, g: g, k: k, spine: sp, box: bk}
+		if e.Spine {
+			if pk := c.classifyPrune(g); pk != nil {
+				ps.prune, ps.pruneAtCall = pk, pk
+			}
+		}
+		p.args = append(p.args, ps)
 	}
 	p.out = c.outgoing(site, targs)
 	return p
 }
 
 // tracePlan runs one frame's plan over the stack (the serial collector's
-// compiled fast path).
+// compiled fast path). When liveness-guided pruning is armed for this
+// collection (pruneOn), slots with a spine-only verdict are deferred to
+// the prune queue instead of traced — every full root must run first so
+// the pruning walk stops at anything a live path reached (drainPrune).
 func (c *Collector) tracePlan(p *framePlan, stack []code.Word, base int, atCall bool) {
 	for i := range p.slots {
 		ps := &p.slots[i]
+		if c.pruneOn {
+			pk := ps.prune
+			if atCall {
+				pk = ps.pruneAtCall
+			}
+			if pk != nil {
+				c.pruneQ = append(c.pruneQ, pruneItem{stack: stack, idx: base + ps.slot, g: ps.g, sk: pk})
+				c.Stats.SlotsTraced++
+				continue
+			}
+		}
 		stack[base+ps.slot] = c.traceKernel(ps, stack[base+ps.slot], &c.Stats)
 		c.Stats.SlotsTraced++
 	}
 	if atCall {
 		for i := range p.args {
 			ps := &p.args[i]
+			if c.pruneOn && ps.prune != nil {
+				c.pruneQ = append(c.pruneQ, pruneItem{stack: stack, idx: base + ps.slot, g: ps.g, sk: ps.prune})
+				c.Stats.SlotsTraced++
+				continue
+			}
 			stack[base+ps.slot] = c.traceKernel(ps, stack[base+ps.slot], &c.Stats)
 			c.Stats.SlotsTraced++
 		}

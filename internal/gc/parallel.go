@@ -43,11 +43,14 @@ type rootJob struct {
 	g     TypeGC
 	k     kernel
 	spine *spineKernel
+	box   *boxKernel
 }
 
-// planJob converts a resolved plan slot into a root job.
+// planJob converts a resolved plan slot into a root job. Pruning kernels
+// are deliberately not carried over: the parallel paths never prune
+// (beginPrune refuses them), so jobs always trace in full.
 func planJob(base int, ps *planSlot) rootJob {
-	return rootJob{idx: base + ps.slot, g: ps.g, k: ps.k, spine: ps.spine}
+	return rootJob{idx: base + ps.slot, g: ps.g, k: ps.k, spine: ps.spine, box: ps.box}
 }
 
 // traceJob traces one resolved root on the ordered phase-2 path, through
@@ -56,7 +59,7 @@ func (c *Collector) traceJob(j *rootJob, w code.Word) code.Word {
 	if j.k == kGeneric {
 		return j.g.Trace(c, w)
 	}
-	ps := planSlot{g: j.g, k: j.k, spine: j.spine}
+	ps := planSlot{g: j.g, k: j.k, spine: j.spine, box: j.box}
 	return c.traceKernel(&ps, w, &c.Stats)
 }
 
@@ -332,7 +335,7 @@ func (c *Collector) collectParallelMark(tasks []TaskRoots, scans []TaskScan, glo
 		for j := range jobs {
 			job := &jobs[j]
 			if job.k != kGeneric {
-				ps := planSlot{g: job.g, k: job.k, spine: job.spine}
+				ps := planSlot{g: job.g, k: job.k, spine: job.spine, box: job.box}
 				words[i] += c.markKernel(&ps, tasks[i].Stack[job.idx], st)
 			} else {
 				words[i] += c.markValue(job.g, tasks[i].Stack[job.idx], st)

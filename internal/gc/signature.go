@@ -39,6 +39,32 @@ func (c *Collector) LiveSignature(globals []code.Word) []code.Word {
 	return s.out
 }
 
+// RootSignature serializes the live heap reachable from the globals AND
+// every task's resolved frame slots — the whole retained set of the
+// preceding collection, in the same canonical address-free stream as
+// LiveSignature. The heap-liveness projection suite compares these
+// between a pruning and a full-structure collection of identical roots:
+// the pruned stream must equal the full one except where a pruned field's
+// poison word stands in for a whole dead subtree. Call it only while the
+// heap is quiescent (between a collection and the next allocation) and
+// never under the tagged strategy (task roots resolve through frame
+// maps).
+func (c *Collector) RootSignature(tasks []TaskRoots, globals []code.Word) []code.Word {
+	s := &signer{c: c, seen: map[code.Word]int{}}
+	for i, g := range c.Prog.Globals {
+		s.walk(c.FromDesc(g.Desc, nil), globals[i])
+	}
+	var st Stats // resolution stats of the signature walk are discarded
+	sc := c.scratch0()
+	sc.reset() // any prior collection's windows are dead by now
+	for i := range tasks {
+		for _, j := range c.taskJobs(tasks[i], &st, sc) {
+			s.walk(j.g, tasks[i].Stack[j.idx])
+		}
+	}
+	return s.out
+}
+
 type signer struct {
 	c    *Collector
 	seen map[code.Word]int // pointer word -> first-visit index

@@ -135,6 +135,22 @@ type Options struct {
 	// (the interleaving fuzz permutes assignments; entries are reduced mod
 	// Shards). Ignored unless Shards > 1.
 	ShardAssign []int
+	// GCHeapLiveness (-gc-heap-liveness) arms liveness-guided tracing: the
+	// compile-side heap-liveness analysis classifies, per frame slot of a
+	// recursive datatype at each GC point, whether only the structure's
+	// spine can ever be walked again, and eligible collections replace the
+	// provably dead element fields with a sentinel instead of retaining
+	// them (internal/gc/liveness.go). Compiled strategy only; ineligible
+	// collections (other strategies, fast path off, parallel trace, shard
+	// minors, concurrent cycles) degrade to full tracing with the refusal
+	// counted in Result.Liveness.
+	GCHeapLiveness bool
+	// PoisonPruned (-poison-pruned) turns any mutator load of the pruning
+	// sentinel into a deterministic runtime error — the debug mode that
+	// makes heap-liveness verdicts falsifiable. Implies nothing unless
+	// GCHeapLiveness is also set (without pruning the sentinel never
+	// enters the heap).
+	PoisonPruned bool
 }
 
 // validateConcurrent checks the -gc-concurrent gating common to both
@@ -209,6 +225,9 @@ type Result struct {
 	VMStats   vm.Stats
 	GCStats   gc.Stats
 	HeapStats heap.Stats
+	// Liveness counts liveness-guided pruning activity and degrades
+	// (all zero unless Options.GCHeapLiveness).
+	Liveness gc.LivenessStats
 	// Telemetry is the collector's per-collection record stream (render
 	// with TelemetryTable / TelemetryJSON).
 	Telemetry *gc.Telemetry
@@ -263,7 +282,14 @@ func Build(src string, opts Options) (*code.Program, *gcanal.Result, error) {
 			}
 		}
 	}
-	prog, err := codegen.Compile(irp, opts.Strategy.CompatibleRepr())
+	// Heap liveness runs after the CanGC refinement (and the elision
+	// override) so its per-site verdicts line up with the sites codegen
+	// will actually emit.
+	var hl *gcanal.HeapLiveness
+	if opts.GCHeapLiveness {
+		hl = gcanal.AnalyzeHeapLiveness(irp)
+	}
+	prog, err := codegen.CompileWith(irp, opts.Strategy.CompatibleRepr(), hl)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -352,6 +378,8 @@ func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result,
 	m.ConcTriggerPct = opts.ConcTriggerPct
 	m.Col.ConcMarkBudget = opts.ConcMarkBudget
 	m.Col.ConcMaxSlices = opts.ConcMaxSlices
+	m.Col.HeapLiveness = opts.GCHeapLiveness
+	m.PoisonPruned = opts.PoisonPruned
 	raw, err := m.Run()
 	if err != nil {
 		return nil, err
@@ -363,6 +391,7 @@ func RunProgram(prog *code.Program, anal *gcanal.Result, opts Options) (*Result,
 		VMStats:       m.Stats,
 		GCStats:       m.Col.Stats,
 		HeapStats:     m.Heap.Stats,
+		Liveness:      m.Col.Liveness,
 		Telemetry:     &m.Col.Telem,
 		MetadataWords: m.Col.MetadataSize,
 		DescNodes:     prog.DescNodes,

@@ -24,6 +24,9 @@ type TaskResult struct {
 	Stats   tasking.Stats
 	GCStats gc.Stats
 	Heap    heap.Stats
+	// Liveness counts liveness-guided pruning activity and degrades
+	// (all zero unless Options.GCHeapLiveness).
+	Liveness gc.LivenessStats
 	// TLABs is aligned with Values: each task's allocation-buffer
 	// accounting (all zero when Options.TLABWords is 0).
 	TLABs []tasking.TLABStats
@@ -128,6 +131,8 @@ func BuildTaskGroup(src string, entryNames []string, opts Options) (*tasking.Gro
 	group.ConcTriggerPct = opts.ConcTriggerPct
 	group.Col.ConcMarkBudget = opts.ConcMarkBudget
 	group.Col.ConcMaxSlices = opts.ConcMaxSlices
+	group.Col.HeapLiveness = opts.GCHeapLiveness
+	group.PoisonPruned = opts.PoisonPruned
 	group.BudgetSteps = opts.BudgetSteps
 	group.BudgetAllocWords = opts.BudgetAllocWords
 	if opts.SuspendAtAllocs {
@@ -162,6 +167,7 @@ func RunTasks(src string, entryNames []string, opts Options) (*TaskResult, error
 		Stats:     group.Stats,
 		GCStats:   group.Col.Stats,
 		Heap:      group.Heap.Stats,
+		Liveness:  group.Col.Liveness,
 		Telemetry: &group.Col.Telem,
 		Group:     group,
 	}

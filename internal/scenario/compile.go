@@ -205,10 +205,24 @@ func compileCell(sc *Scenario, w workloads.TaskWorkload, srv *serve.Config, stra
 			reasons = append(reasons, "heap sharding does not compose with concurrent marking")
 		}
 	}
+	if sc.GCHeapLiveness && strat != gc.StratCompiled {
+		// Other out-of-envelope combinations (parallel collections, shard
+		// minors, concurrent cycles) run and degrade to full tracing with
+		// the refusal counted in LivenessStats; only the strategy axis is a
+		// skip, because the pruning kernels exist solely in compiled mode.
+		reasons = append(reasons, "heap-liveness pruning requires the compiled strategy")
+	}
 	c.Skip = strings.Join(reasons, "; ")
 	if c.Skip == "" {
 		if sc.GCConcurrent {
 			c.Opts.GCConcurrent = true
+		}
+		if sc.GCHeapLiveness {
+			// Scenario cells are correctness harnesses, so the poison debug
+			// mode rides along: a wrong spine verdict faults the loading
+			// task instead of silently computing on a pruned word.
+			c.Opts.GCHeapLiveness = true
+			c.Opts.PoisonPruned = true
 		}
 		if shards > 1 {
 			// shards 1 stays zero-valued so a defaulted axis compiles to an

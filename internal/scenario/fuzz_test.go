@@ -36,6 +36,10 @@ func FuzzScenarioParse(f *testing.F) {
 	f.Add("scenario x {\n  arrivals { period 1 requests 1 shed-heap 200 }\n}")   // watermark out of range
 	f.Add("scenario x {\n  arrivals { period 1 requests 1 budget-steps 99999999999999999999 }\n}")
 	f.Add("scenario x {\n  arrivals { period 1 requests 1 }\n  mix { req_tiny 0 }\n}")
+	f.Add("scenario x {\n  workload taskspine\n  gc_heap_liveness\n}")
+	f.Add("scenario x {\n  workload taskspine\n  strategies tagged\n  disciplines marksweep\n  gc_heap_liveness\n  gc_concurrent\n}") // multi-reason skip cells
+	f.Add("scenario x {\n  workload taskspine\n  gc_heap_liveness extra\n}") // key takes no argument
+	f.Add("scenario x {\n  gc_heap_liveness\n  gc_heap_liveness\n}")         // duplicate key
 
 	f.Fuzz(func(t *testing.T, src string) {
 		scs, err := Parse(src)

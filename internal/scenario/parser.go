@@ -143,7 +143,7 @@ func (p *parser) parseScenario() (*Scenario, error) {
 	return sc, nil
 }
 
-const scenarioKeys = "workload, strategies, disciplines, par, shards, repeats, heap, nursery, promote, tlab, gc_concurrent, faults, arrivals, mix"
+const scenarioKeys = "workload, strategies, disciplines, par, shards, repeats, heap, nursery, promote, tlab, gc_concurrent, gc_heap_liveness, faults, arrivals, mix"
 
 // parseStmt parses one `key values` statement inside a scenario body.
 func (p *parser) parseStmt(sc *Scenario) error {
@@ -290,6 +290,8 @@ func (p *parser) parseStmt(sc *Scenario) error {
 		sc.TLABWords = n
 	case "gc_concurrent":
 		sc.GCConcurrent = true
+	case "gc_heap_liveness":
+		sc.GCHeapLiveness = true
 	case "faults":
 		return p.parseFaults(sc)
 	case "arrivals":

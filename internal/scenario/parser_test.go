@@ -3,6 +3,7 @@ package scenario
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"tagfree/internal/gc"
@@ -135,6 +136,84 @@ scenario conc {
 	}
 }
 
+// TestScenarioGCHeapLiveness pins the gc_heap_liveness key: a bare
+// boolean that turns on liveness-guided tracing (with the poison debug
+// mode riding along) for compiled-strategy cells and reports every other
+// strategy's cells as skipped — including multi-reason skips joined with
+// "; " when the cell is out of the envelope on several counts at once.
+func TestScenarioGCHeapLiveness(t *testing.T) {
+	scs, err := Parse(`
+scenario live {
+  workload    taskspine
+  strategies  compiled interp tagged
+  disciplines copying marksweep
+  par         1 4
+  gc_heap_liveness
+  gc_concurrent
+}
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !scs[0].GCHeapLiveness {
+		t.Fatalf("gc_heap_liveness not set on the scenario")
+	}
+	cells, err := Compile(scs)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(cells))
+	}
+	var on int
+	for _, c := range cells {
+		if c.Opts.GCHeapLiveness {
+			on++
+			if c.Skip != "" {
+				t.Errorf("%s: skipped cell has GCHeapLiveness set", c.Name)
+			}
+			if !c.Opts.PoisonPruned {
+				t.Errorf("%s: liveness cell without the poison debug mode", c.Name)
+			}
+			if c.Strategy != gc.StratCompiled {
+				t.Errorf("%s: heap-liveness pruning outside the compiled strategy", c.Name)
+			}
+		} else if c.Skip == "" {
+			t.Errorf("%s: neither liveness-enabled nor skipped under gc_heap_liveness", c.Name)
+		} else if c.Strategy != gc.StratCompiled && !strings.Contains(c.Skip, "heap-liveness pruning requires the compiled strategy") {
+			t.Errorf("%s: skip %q does not name the liveness reason", c.Name, c.Skip)
+		}
+	}
+	// compiled × marksweep × par 1 is the one cell inside both envelopes;
+	// compiled copying/par4 cells carry only the concurrent skip.
+	if on != 1 {
+		t.Errorf("got %d liveness cells, want exactly compiled/marksweep/par1", on)
+	}
+	// The tagged mark/sweep cell is out of the envelope on four counts:
+	// its skip must carry ALL reasons, "; "-joined, in one row.
+	var tagged *Cell
+	for i := range cells {
+		if cells[i].Strategy == gc.StratTagged && cells[i].Discipline == MarkSweep && cells[i].Par == 1 {
+			tagged = &cells[i]
+		}
+	}
+	if tagged == nil {
+		t.Fatal("no tagged/marksweep/par1 cell")
+	}
+	for _, reason := range []string{
+		"mark/sweep is implemented for the tag-free strategies",
+		"concurrent marking requires a tag-free strategy",
+		"heap-liveness pruning requires the compiled strategy",
+	} {
+		if !strings.Contains(tagged.Skip, reason) {
+			t.Errorf("tagged cell skip %q missing reason %q", tagged.Skip, reason)
+		}
+	}
+	if parts := strings.Split(tagged.Skip, "; "); len(parts) < 3 {
+		t.Errorf("tagged cell skip %q not a multi-reason \"; \" join", tagged.Skip)
+	}
+}
+
 // TestScenarioDiagnosticsGolden pins the exact position and message of
 // the parser's diagnostics for malformed .tfs input — the contract that
 // `tfbench -scenario` failures point at the offending token.
@@ -147,7 +226,7 @@ func TestScenarioDiagnosticsGolden(t *testing.T) {
 		{
 			name: "unknown key",
 			src:  "scenario x {\n  workload taskchurn\n  wrkload taskchurn\n}\n",
-			want: `3:3: unknown scenario key "wrkload" (have workload, strategies, disciplines, par, shards, repeats, heap, nursery, promote, tlab, gc_concurrent, faults, arrivals, mix)`,
+			want: `3:3: unknown scenario key "wrkload" (have workload, strategies, disciplines, par, shards, repeats, heap, nursery, promote, tlab, gc_concurrent, gc_heap_liveness, faults, arrivals, mix)`,
 		},
 		{
 			name: "bad strategy name",
@@ -256,7 +335,7 @@ func TestScenarioCompileDiagnostics(t *testing.T) {
 		{
 			name: "unknown workload",
 			src:  "scenario x {\n  workload nosuch\n}\n",
-			want: `2:3: unknown task workload "nosuch" (have taskchurn, tasktree, taskpoly, taskmutate, taskdeep, taskserve)`,
+			want: `2:3: unknown task workload "nosuch" (have taskchurn, tasktree, taskpoly, taskmutate, taskdeep, taskspine, taskserve)`,
 		},
 		{
 			name: "tlab at least heap",

@@ -87,6 +87,15 @@ type Scenario struct {
 	// skips, like mark/sweep under the tagged baseline.
 	GCConcurrent bool
 
+	// GCHeapLiveness turns on liveness-guided tracing (spine-only trace
+	// descriptors with dead-element pruning and the poison debug mode)
+	// for the cells that can carry it. The descriptors are compiled-
+	// strategy kernels, so every other strategy's cells become reported
+	// skips; within the compiled strategy, out-of-envelope collections
+	// (parallel, shard minors, concurrent cycles) degrade to full
+	// tracing at runtime with the refusal counted, not skipped here.
+	GCHeapLiveness bool
+
 	// Faults is the fault-injection plan applied to every cell.
 	Faults FaultBlock
 

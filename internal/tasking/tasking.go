@@ -338,6 +338,13 @@ type Group struct {
 	// words, that starts a concurrent cycle (0 = 75).
 	ConcTriggerPct int
 
+	// PoisonPruned faults any task whose compiled code loads the
+	// liveness-guided collector's PrunedWord sentinel — the debug mode
+	// that makes heap-liveness verdicts falsifiable: a verdict that pruned
+	// a field the program still reads turns into a deterministic fault
+	// instead of a silently wrong value.
+	PoisonPruned bool
+
 	// forceMajor requests that the next stop-the-world collection escalate
 	// to a tenure-all major (the overload ladder's second rung); set via
 	// RequestMajor, consumed by collectSuspended.
@@ -1410,6 +1417,9 @@ func (g *Group) step(t *Task, quantum int) error {
 
 		case code.OpLdFld:
 			v := g.Heap.Field(t.atom(g, c[pc+2]), int(c[pc+3]))
+			if g.PoisonPruned && v == code.PrunedWord {
+				return t.errf(g, "poison: load of pruned field %d — heap-liveness verdict was wrong", int(c[pc+3]))
+			}
 			if sharded && g.Heap.InYoung(v) && g.Heap.YoungShardOf(v) != tShard {
 				// A foreign shard's young pointer just landed on this stack;
 				// that shard's minors no longer see all their roots. (The word

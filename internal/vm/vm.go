@@ -80,6 +80,11 @@ type VM struct {
 	// words, that starts a concurrent cycle (0 = 75).
 	ConcTriggerPct int
 
+	// PoisonPruned turns any load of the liveness-guided collector's
+	// PrunedWord sentinel into a runtime error — the debug mode that makes
+	// heap-liveness verdicts falsifiable.
+	PoisonPruned bool
+
 	zeroFill bool
 	stack    []code.Word
 	sp       int
@@ -525,7 +530,11 @@ func (vm *VM) loop(fidx, fp, pc int) (code.Word, error) {
 
 		case code.OpLdFld:
 			obj := vm.atom(fp, c[pc+2])
-			vm.stack[fp+2+int(c[pc+1])] = vm.Heap.Field(obj, int(c[pc+3]))
+			v := vm.Heap.Field(obj, int(c[pc+3]))
+			if vm.PoisonPruned && v == code.PrunedWord {
+				return 0, vm.errf(pc, fidx, "poison: load of pruned field %d — heap-liveness verdict was wrong", int(c[pc+3]))
+			}
+			vm.stack[fp+2+int(c[pc+1])] = v
 			pc += 4
 
 		case code.OpStFld:

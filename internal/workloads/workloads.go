@@ -410,6 +410,26 @@ let tower_b () = towers [1] 10 0
 `,
 	},
 	{
+		Name:        "taskspine",
+		Description: "long-lived lists of boxed pairs consumed only by length — every element field is provably dead at every GC point, the heap-liveness pruner's motivating shape",
+		Entries:     []string{"spine_a", "spine_b", "spine_c"},
+		Expect:      []int64{27940, 28940, 29940},
+		HeapWords:   2048,
+		Source: `
+let rec len xs = match xs with | [] -> 0 | _ :: r -> 1 + len r
+let rec mkpairs n = if n = 0 then [] else (n, n * 2) :: mkpairs (n - 1)
+let rec upto n = if n = 0 then [] else n :: upto (n - 1)
+let rec sum xs = match xs with | [] -> 0 | x :: r -> x + sum r
+let churn () = sum (upto 30)
+let rec drive spine n acc =
+  if n = 0 then acc + len spine
+  else drive spine (n - 1) (acc + churn ())
+let spine_a () = (let s = mkpairs 40 in drive s 60 0)
+let spine_b () = (let s = mkpairs 40 in drive s 60 1000)
+let spine_c () = (let s = mkpairs 40 in drive s 60 2000)
+`,
+	},
+	{
 		Name:        "taskserve",
 		Description: "request-sized list churn in four service classes (tiny/small/medium/heavy) — the serve harness samples these as its heavy-tail service mix",
 		Entries:     []string{"req_tiny", "req_small", "req_medium", "req_heavy"},
